@@ -1,0 +1,310 @@
+package mmlpt
+
+// The benchmark harness: one testing.B benchmark per table and figure of
+// the paper's evaluation (run with `go test -bench=. -benchmem`), plus
+// ablation benches for the design choices DESIGN.md calls out. Benchmark
+// scale is reduced relative to the paper (the full scale is available via
+// cmd/paperfig -scale); the shape assertions live in the test suites.
+
+import (
+	"testing"
+
+	"mmlpt/internal/experiments"
+	"mmlpt/internal/fakeroute"
+	"mmlpt/internal/mda"
+	"mmlpt/internal/mdalite"
+	"mmlpt/internal/packet"
+	"mmlpt/internal/probe"
+	"mmlpt/internal/survey"
+)
+
+var (
+	benchSrc = packet.MustParseAddr("192.0.2.1")
+	benchDst = packet.MustParseAddr("198.51.100.77")
+)
+
+// BenchmarkFig1DiamondCost regenerates the Sec 2.1/2.3.1 worked example:
+// MDA vs MDA-Lite probe counts on the Fig 1 diamonds.
+func BenchmarkFig1DiamondCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig1(experiments.Fig1Config{Runs: 5, Seed: uint64(i)})
+	}
+}
+
+// BenchmarkFig2MeshingDetection regenerates the Fig 2 CDFs: Eq. (1)
+// missing-meshing probabilities over the survey's meshed hop pairs.
+func BenchmarkFig2MeshingDetection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.IPSurvey(experiments.SurveyConfig{Pairs: 150, Seed: uint64(i)})
+		_ = res.MeshMissCDF(survey.Measured)
+		_ = res.MeshMissCDF(survey.Distinct)
+	}
+}
+
+// BenchmarkFig3SimTopologies regenerates the Fig 3 discovery curves on the
+// four Sec 2.4.1 topologies.
+func BenchmarkFig3SimTopologies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig3(experiments.Fig3Config{Runs: 5, Seed: uint64(i)})
+	}
+}
+
+// BenchmarkFig4Comparative regenerates the Fig 4 ratio CDFs (five tool
+// variants over diamond-bearing pairs).
+func BenchmarkFig4Comparative(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig4(experiments.Fig4Config{Pairs: 30, Seed: uint64(i)})
+	}
+}
+
+// BenchmarkTable1Aggregate regenerates the Table 1 aggregated-topology
+// ratios (same pipeline as Fig 4; kept separate so the table has its own
+// bench target).
+func BenchmarkTable1Aggregate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig4(experiments.Fig4Config{Pairs: 30, Seed: uint64(i) + 1000})
+		_ = r.Table1
+	}
+}
+
+// BenchmarkSec3FailureValidation regenerates the Fakeroute statistical
+// validation of the MDA failure bound on the simplest diamond.
+func BenchmarkSec3FailureValidation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Sec3Validation(experiments.Sec3Config{
+			Samples: 5, RunsPerSample: 100, Seed: uint64(i),
+		})
+	}
+}
+
+// BenchmarkFig5AliasRounds regenerates the round-by-round alias
+// resolution precision/recall/probe-ratio evaluation.
+func BenchmarkFig5AliasRounds(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig5(experiments.Fig5Config{Pairs: 10, Rounds: 4, Seed: uint64(i)})
+	}
+}
+
+// BenchmarkTable2DirectIndirect regenerates the indirect-vs-direct alias
+// outcome matrix.
+func BenchmarkTable2DirectIndirect(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Table2(experiments.Table2Config{Pairs: 10, Rounds: 3, Seed: uint64(i)})
+	}
+}
+
+// BenchmarkFig7WidthAsymmetry through BenchmarkFig11Joint regenerate the
+// Sec 5.1 IP-level survey figures.
+func BenchmarkFig7WidthAsymmetry(b *testing.B) {
+	benchIPSurveyFigure(b, func(r *survey.Result) {
+		_ = r.WidthAsymmetryDist(survey.Measured)
+		_ = r.WidthAsymmetryDist(survey.Distinct)
+	})
+}
+
+func BenchmarkFig8MaxProbDiff(b *testing.B) {
+	benchIPSurveyFigure(b, func(r *survey.Result) {
+		_ = r.MaxProbDiffCDF(survey.Measured)
+		_ = r.MaxProbDiffCDF(survey.Distinct)
+	})
+}
+
+func BenchmarkFig9MeshedRatio(b *testing.B) {
+	benchIPSurveyFigure(b, func(r *survey.Result) {
+		_ = r.MeshedRatioCDF(survey.Measured)
+		_ = r.MeshedRatioCDF(survey.Distinct)
+	})
+}
+
+func BenchmarkFig10LengthWidth(b *testing.B) {
+	benchIPSurveyFigure(b, func(r *survey.Result) {
+		_ = r.LengthDist(survey.Measured)
+		_ = r.WidthDist(survey.Measured)
+		_ = r.LengthDist(survey.Distinct)
+		_ = r.WidthDist(survey.Distinct)
+	})
+}
+
+func BenchmarkFig11Joint(b *testing.B) {
+	benchIPSurveyFigure(b, func(r *survey.Result) {
+		_ = r.JointLengthWidth(survey.Measured)
+		_ = r.JointLengthWidth(survey.Distinct)
+	})
+}
+
+func benchIPSurveyFigure(b *testing.B, extract func(*survey.Result)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res := experiments.IPSurvey(experiments.SurveyConfig{Pairs: 150, Seed: uint64(i)})
+		extract(res)
+	}
+}
+
+// BenchmarkFig12RouterSizes, BenchmarkTable3AliasEffect, BenchmarkFig13 and
+// BenchmarkFig14 regenerate the Sec 5.2 router-level survey artifacts.
+func BenchmarkFig12RouterSizes(b *testing.B) {
+	benchRouterSurvey(b, func(res *survey.Result, recs []survey.RouterRecord) {
+		_, _ = survey.RouterSizeCDFs(recs)
+	})
+}
+
+func BenchmarkTable3AliasEffect(b *testing.B) {
+	benchRouterSurvey(b, func(res *survey.Result, recs []survey.RouterRecord) {
+		_ = survey.Table3(res, recs)
+	})
+}
+
+func BenchmarkFig13WidthBeforeAfter(b *testing.B) {
+	benchRouterSurvey(b, func(res *survey.Result, recs []survey.RouterRecord) {
+		_, _ = survey.WidthBeforeAfter(res, recs)
+	})
+}
+
+func BenchmarkFig14JointBeforeAfter(b *testing.B) {
+	benchRouterSurvey(b, func(res *survey.Result, recs []survey.RouterRecord) {
+		_ = survey.JointWidthBeforeAfter(res, recs)
+	})
+}
+
+func benchRouterSurvey(b *testing.B, extract func(*survey.Result, []survey.RouterRecord)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, recs := experiments.RouterSurvey(experiments.SurveyConfig{
+			Pairs: 30, Seed: uint64(i), Rounds: 3,
+		})
+		extract(res, recs)
+	}
+}
+
+// ---- Ablation benches (DESIGN.md "design choices") ----
+
+// BenchmarkAblationPhi contrasts the meshing-test budget phi=2 vs phi=4 on
+// a diamond with adjacent multi-vertex hops.
+func BenchmarkAblationPhi(b *testing.B) {
+	for _, phi := range []int{2, 4} {
+		phi := phi
+		b.Run(map[int]string{2: "phi2", 4: "phi4"}[phi], func(b *testing.B) {
+			var probes uint64
+			for i := 0; i < b.N; i++ {
+				net, _ := fakeroute.BuildScenario(uint64(i), benchSrc, benchDst, fakeroute.SymmetricDiamond)
+				p := probe.NewSimProber(net, benchSrc, benchDst)
+				p.Retries = 0
+				res := mdalite.Trace(p, mda.Config{Seed: uint64(i)}, phi)
+				probes += res.Probes
+			}
+			b.ReportMetric(float64(probes)/float64(b.N), "probes/trace")
+		})
+	}
+}
+
+// BenchmarkAblationStoppingPoints contrasts the 95% table against the
+// tighter Veitch Table 1 on the wide diamond.
+func BenchmarkAblationStoppingPoints(b *testing.B) {
+	tables := map[string][]int{
+		"eps0.05":  mda.Default95(64),
+		"veitchT1": mda.VeitchTable1(64),
+	}
+	for name, nk := range tables {
+		nk := nk
+		b.Run(name, func(b *testing.B) {
+			var probes uint64
+			for i := 0; i < b.N; i++ {
+				net, _ := fakeroute.BuildScenario(uint64(i), benchSrc, benchDst, fakeroute.MaxLength2Diamond)
+				p := probe.NewSimProber(net, benchSrc, benchDst)
+				p.Retries = 0
+				res := mda.Trace(p, mda.Config{Seed: uint64(i), Stop: nk})
+				probes += res.Probes
+			}
+			b.ReportMetric(float64(probes)/float64(b.N), "probes/trace")
+		})
+	}
+}
+
+// BenchmarkAblationNodeControl measures the node-control overhead delta:
+// MDA (per-vertex, node control) vs MDA-Lite (hop-by-hop, none) on the
+// unmeshed Fig 1 diamond.
+func BenchmarkAblationNodeControl(b *testing.B) {
+	algos := map[string]func(p probe.Prober, seed uint64) *mda.Result{
+		"mda": func(p probe.Prober, seed uint64) *mda.Result {
+			return mda.Trace(p, mda.Config{Seed: seed})
+		},
+		"mdalite": func(p probe.Prober, seed uint64) *mda.Result {
+			return mdalite.Trace(p, mda.Config{Seed: seed}, 2)
+		},
+	}
+	for name, run := range algos {
+		run := run
+		b.Run(name, func(b *testing.B) {
+			var probes uint64
+			for i := 0; i < b.N; i++ {
+				net, _ := fakeroute.BuildScenario(uint64(i), benchSrc, benchDst, fakeroute.Fig1UnmeshedDiamond)
+				p := probe.NewSimProber(net, benchSrc, benchDst)
+				p.Retries = 0
+				res := run(p, uint64(i))
+				probes += res.Probes
+			}
+			b.ReportMetric(float64(probes)/float64(b.N), "probes/trace")
+		})
+	}
+}
+
+// BenchmarkAblationFlowReuse contrasts the MDA-Lite's reuse of
+// previous-hop flow identifiers against minting fresh flows at every hop:
+// reuse seeds edges for free, fresh flows push that work onto the
+// deterministic edge-completion step.
+func BenchmarkAblationFlowReuse(b *testing.B) {
+	for _, disable := range []bool{false, true} {
+		name := "reuse"
+		if disable {
+			name = "fresh"
+		}
+		disable := disable
+		b.Run(name, func(b *testing.B) {
+			var probes uint64
+			for i := 0; i < b.N; i++ {
+				net, _ := fakeroute.BuildScenario(uint64(i), benchSrc, benchDst, fakeroute.SymmetricDiamond)
+				p := probe.NewSimProber(net, benchSrc, benchDst)
+				p.Retries = 0
+				res := mdalite.Trace(p, mda.Config{Seed: uint64(i), DisableFlowReuse: disable}, 2)
+				probes += res.Probes
+			}
+			b.ReportMetric(float64(probes)/float64(b.N), "probes/trace")
+		})
+	}
+}
+
+// BenchmarkProbeSerialize and BenchmarkReplyParse measure the wire codec
+// hot paths.
+func BenchmarkProbeSerialize(b *testing.B) {
+	pr := packet.Probe{Src: benchSrc, Dst: benchDst, FlowID: 7, TTL: 5, Checksum: 99}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = pr.Serialize()
+	}
+}
+
+func BenchmarkReplyParse(b *testing.B) {
+	net, _ := fakeroute.BuildScenario(1, benchSrc, benchDst, fakeroute.SimplestDiamond)
+	pr := packet.Probe{Src: benchSrc, Dst: benchDst, FlowID: 7, TTL: 1, Checksum: 99}
+	raw := net.HandleProbe(pr.Serialize())
+	if raw == nil {
+		b.Fatal("no reply")
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := packet.ParseReply(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimProbeRoundTrip measures one full probe round trip through
+// the simulator (serialize, route, craft reply, parse).
+func BenchmarkSimProbeRoundTrip(b *testing.B) {
+	net, _ := fakeroute.BuildScenario(1, benchSrc, benchDst, fakeroute.MeshedDiamond48)
+	p := probe.NewSimProber(net, benchSrc, benchDst)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Probe(uint16(i%1000), 3)
+	}
+}

@@ -1,0 +1,153 @@
+// Command mmlpt is the Multilevel MDA-Lite Paris Traceroute tool, run
+// against a Fakeroute-simulated topology.
+//
+// Usage:
+//
+//	mmlpt -shape meshed48 -algo multilevel -phi 2
+//	mmlpt -shape asymmetric -algo mda-lite -seed 7
+//
+// It prints the IP-level multipath topology hop by hop, the diamonds with
+// their survey metrics and, for the multilevel algorithm, the resolved
+// alias sets and the router-level topology.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"mmlpt"
+	"mmlpt/internal/alias"
+	"mmlpt/internal/fakeroute"
+	"mmlpt/internal/packet"
+	"mmlpt/internal/topo"
+	"mmlpt/internal/traceio"
+)
+
+var shapes = map[string]func(*fakeroute.AddrAllocator, packet.Addr) *topo.Graph{
+	"simplest":   fakeroute.SimplestDiamond,
+	"fig1":       fakeroute.Fig1UnmeshedDiamond,
+	"fig1meshed": fakeroute.Fig1MeshedDiamond,
+	"maxlen2":    fakeroute.MaxLength2Diamond,
+	"symmetric":  fakeroute.SymmetricDiamond,
+	"asymmetric": fakeroute.AsymmetricDiamond,
+	"meshed48":   fakeroute.MeshedDiamond48,
+}
+
+func shapeNames() []string {
+	var names []string
+	for n := range shapes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func main() {
+	var (
+		shape    = flag.String("shape", "fig1", fmt.Sprintf("simulated topology %v", shapeNames()))
+		topoFile = flag.String("topology", "", "trace a topology file instead of a named shape")
+		algo     = flag.String("algo", "mda-lite", "algorithm: single, mda, mda-lite, multilevel")
+		phi      = flag.Int("phi", 2, "MDA-Lite meshing-test budget (>=2)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		bound    = flag.Float64("failure-bound", 0.05, "per-vertex failure probability bound")
+		rounds   = flag.Int("rounds", 10, "alias resolution rounds (multilevel)")
+		jsonOut  = flag.Bool("json", false, "emit the result as one JSON object")
+		verbose  = flag.Bool("v", false, "also print the ground truth")
+	)
+	flag.Parse()
+
+	var build func(*fakeroute.AddrAllocator, packet.Addr) *topo.Graph
+	if *topoFile != "" {
+		f, err := os.Open(*topoFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		loaded, err := traceio.ParseTopology(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		build = func(_ *fakeroute.AddrAllocator, dst packet.Addr) *topo.Graph {
+			// Append the destination if the file's last hop is not it.
+			last := loaded.Hop(loaded.NumHops() - 1)
+			if len(last) == 1 && loaded.V(last[0]).Addr == dst {
+				return loaded
+			}
+			end := loaded.AddVertex(loaded.NumHops(), dst)
+			for _, u := range loaded.Hop(loaded.NumHops() - 2) {
+				loaded.AddEdge(u, end)
+			}
+			return loaded
+		}
+	} else {
+		var ok bool
+		build, ok = shapes[*shape]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown shape %q; available: %v\n", *shape, shapeNames())
+			os.Exit(2)
+		}
+	}
+	var algorithm mmlpt.Algorithm
+	switch *algo {
+	case "single":
+		algorithm = mmlpt.AlgoSingleFlow
+	case "mda":
+		algorithm = mmlpt.AlgoMDA
+	case "mda-lite":
+		algorithm = mmlpt.AlgoMDALite
+	case "multilevel":
+		algorithm = mmlpt.AlgoMultilevel
+	default:
+		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *algo)
+		os.Exit(2)
+	}
+
+	src := mmlpt.MustParseAddr("192.0.2.1")
+	dst := mmlpt.MustParseAddr("198.51.100.77")
+	net, truth := mmlpt.BuildScenario(*seed, src, dst, build)
+	if *verbose {
+		fmt.Printf("ground truth (%s):\n%s\n", *shape, truth)
+	}
+
+	p := mmlpt.NewSimProber(net, src, dst)
+	res := mmlpt.Trace(p, mmlpt.Options{
+		Algorithm: algorithm, Phi: *phi, Seed: *seed,
+		FailureBound: *bound, Rounds: *rounds,
+	})
+
+	if *jsonOut {
+		jt := traceio.NewJSONTrace(src, dst, *algo, res.IP)
+		if res.Multilevel != nil {
+			jt.AttachMultilevel(res.Multilevel)
+		}
+		if err := jt.WriteJSONL(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("mmlpt %s -> %s  algo=%s probes=%d reached=%v switched=%v\n",
+		src, dst, *algo, res.Probes(), res.IP.ReachedDst, res.IP.SwitchedToMDA)
+	fmt.Print(res.IP.Graph)
+
+	for i, d := range res.IP.Graph.Diamonds() {
+		m := d.ComputeMetrics()
+		fmt.Printf("diamond %d: %s..%s len=%d width=%d asym=%d meshed=%v meshed-ratio=%.2f\n",
+			i, d.DivAddr, d.ConvAddr, m.MaxLength, m.MaxWidth,
+			m.MaxWidthAsymmetry, m.Meshed, m.RatioMeshedHops)
+	}
+
+	if res.Multilevel != nil {
+		fmt.Printf("\nalias resolution: %d trace + %d alias probes\n",
+			res.Multilevel.TraceProbes, res.Multilevel.AliasProbes)
+		for _, s := range alias.RouterSets(res.Multilevel.Sets) {
+			fmt.Printf("router: %v\n", s.Addrs)
+		}
+		fmt.Printf("router-level topology:\n%s", res.Multilevel.RouterGraph)
+	}
+}

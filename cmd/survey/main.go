@@ -1,0 +1,100 @@
+// Command survey runs the paper's Sec 5 surveys over the synthetic
+// Internet: the IP-level survey (diamond metrics, Figs 7-11) and the
+// router-level survey (alias resolution effects, Figs 12-14 and Table 3).
+//
+// Usage:
+//
+//	survey -level ip -pairs 2000
+//	survey -level router -pairs 500 -rounds 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mmlpt/internal/experiments"
+	"mmlpt/internal/mda"
+	"mmlpt/internal/survey"
+	"mmlpt/internal/traceio"
+)
+
+// dumpJSONL writes one JSON record per trace outcome to path.
+func dumpJSONL(path string, res *survey.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	for _, o := range res.Outcomes {
+		view := &mda.Result{
+			Graph: o.Graph, ReachedDst: o.Reached,
+			SwitchedToMDA: o.Switched, Probes: o.Probes, DstHop: -1,
+		}
+		jt := traceio.NewJSONTrace(o.Pair.Src, o.Pair.Dst, res.Algo.String(), view)
+		if o.ML != nil {
+			jt.AttachMultilevel(o.ML)
+		}
+		if err := jt.WriteJSONL(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func main() {
+	var (
+		level  = flag.String("level", "ip", "survey level: ip or router")
+		pairs  = flag.Int("pairs", 1000, "number of source-destination pairs")
+		seed   = flag.Uint64("seed", 1, "random seed")
+		phi    = flag.Int("phi", 2, "MDA-Lite meshing budget")
+		rounds = flag.Int("rounds", 10, "alias rounds (router level)")
+		figs   = flag.Bool("figs", false, "also print full figure series")
+		jsonl  = flag.String("jsonl", "", "write per-trace JSONL records to this file")
+	)
+	flag.Parse()
+
+	switch *level {
+	case "ip":
+		res := experiments.IPSurvey(experiments.SurveyConfig{
+			Pairs: *pairs, Seed: *seed, Phi: *phi,
+		})
+		fmt.Print(res.Summary())
+		if *jsonl != "" {
+			if err := dumpJSONL(*jsonl, res); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %d trace records to %s\n", len(res.Outcomes), *jsonl)
+		}
+		if *figs {
+			fmt.Println(experiments.FormatFig2(res))
+			fmt.Println(experiments.FormatFig7(res))
+			fmt.Println(experiments.FormatFig8(res))
+			fmt.Println(experiments.FormatFig9(res))
+			fmt.Println(experiments.FormatFig10(res))
+			fmt.Println(experiments.FormatFig11(res))
+		}
+	case "router":
+		res, recs := experiments.RouterSurvey(experiments.SurveyConfig{
+			Pairs: *pairs, Seed: *seed, Phi: *phi, Rounds: *rounds,
+		})
+		fmt.Print(res.Summary())
+		if *jsonl != "" {
+			if err := dumpJSONL(*jsonl, res); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %d trace records to %s\n", len(res.Outcomes), *jsonl)
+		}
+		fmt.Println(experiments.FormatTable3(res, recs))
+		if *figs {
+			fmt.Println(experiments.FormatFig12(recs))
+			fmt.Println(experiments.FormatFig13(res, recs))
+			fmt.Println(experiments.FormatFig14(res, recs))
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown level %q (ip or router)\n", *level)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,68 @@
+package mmlpt_test
+
+import (
+	"fmt"
+
+	"mmlpt"
+)
+
+// ExampleTrace traces the paper's simplest diamond with the MDA-Lite and
+// reports the diamond's metrics.
+func ExampleTrace() {
+	src := mmlpt.MustParseAddr("192.0.2.1")
+	dst := mmlpt.MustParseAddr("198.51.100.77")
+	net, _ := mmlpt.BuildScenario(1, src, dst, mmlpt.SimplestDiamond)
+
+	prober := mmlpt.NewSimProber(net, src, dst)
+	res := mmlpt.Trace(prober, mmlpt.Options{Algorithm: mmlpt.AlgoMDALite, Seed: 1})
+
+	for _, d := range res.IP.Graph.Diamonds() {
+		m := d.ComputeMetrics()
+		fmt.Printf("diamond: length %d, width %d, meshed %v\n", m.MaxLength, m.MaxWidth, m.Meshed)
+	}
+	fmt.Println("reached:", res.IP.ReachedDst)
+	// Output:
+	// diamond: length 2, width 2, meshed false
+	// reached: true
+}
+
+// ExampleStoppingPoints prints the 95%-confidence stopping points the MDA
+// uses, matching the deployed implementations.
+func ExampleStoppingPoints() {
+	nk := mmlpt.StoppingPoints(0.05, 6)
+	fmt.Println(nk[1:])
+	// Output:
+	// [6 11 16 21 27 33]
+}
+
+// ExampleGraphFailureProb computes the exact probability that the MDA
+// misses part of the simplest diamond: the Sec 3 validation value.
+func ExampleGraphFailureProb() {
+	src := mmlpt.MustParseAddr("192.0.2.1")
+	dst := mmlpt.MustParseAddr("198.51.100.77")
+	_, truth := mmlpt.BuildScenario(1, src, dst, mmlpt.SimplestDiamond)
+
+	p := mmlpt.GraphFailureProb(truth, mmlpt.StoppingPoints(0.05, 16))
+	fmt.Printf("%.5f\n", p)
+	// Output:
+	// 0.03125
+}
+
+// ExamplePathBuilder assembles a custom load-balanced topology and
+// registers it on a simulated network.
+func ExamplePathBuilder() {
+	src := mmlpt.MustParseAddr("192.0.2.1")
+	dst := mmlpt.MustParseAddr("198.51.100.77")
+	net := mmlpt.NewNetwork(1)
+	alloc := mmlpt.NewAddrAllocator(mmlpt.MustParseAddr("10.0.0.1"))
+
+	// divergence → 3-way load balance → converge → destination
+	g := mmlpt.NewPathBuilder(alloc).Spread(3).Converge(1).End(dst)
+	net.EnsureIfaces(g, dst)
+	net.AddPath(src, dst, g)
+
+	res := mmlpt.Trace(mmlpt.NewSimProber(net, src, dst), mmlpt.Options{Seed: 3})
+	fmt.Println("width at hop 1:", res.IP.Graph.Width(1))
+	// Output:
+	// width at hop 1: 3
+}

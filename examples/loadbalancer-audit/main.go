@@ -1,0 +1,46 @@
+// Load-balancer audit: the network-operator scenario from the paper's
+// introduction. A single-flow traceroute (the way Paris Traceroute runs on
+// RIPE Atlas) sees one path through a widely load-balanced route and
+// misses the rest; the MDA sees everything but is expensive; the MDA-Lite
+// sees everything at a fraction of the MDA's probe budget.
+//
+// The example traces a 28-interface load-balanced hop (the max-length-2
+// diamond from the paper's simulations) with all three algorithms and
+// prints what each saw and what it cost.
+package main
+
+import (
+	"fmt"
+
+	"mmlpt"
+)
+
+func main() {
+	src := mmlpt.MustParseAddr("192.0.2.1")
+	dst := mmlpt.MustParseAddr("198.51.100.77")
+
+	type row struct {
+		name string
+		algo mmlpt.Algorithm
+	}
+	rows := []row{
+		{"single flow (RIPE Atlas style)", mmlpt.AlgoSingleFlow},
+		{"MDA", mmlpt.AlgoMDA},
+		{"MDA-Lite (phi=2)", mmlpt.AlgoMDALite},
+	}
+
+	fmt.Println("auditing a 28-way load-balanced hop:")
+	fmt.Printf("%-32s %8s %9s %7s\n", "algorithm", "probes", "vertices", "edges")
+	for i, r := range rows {
+		// A fresh network per run so probe counters start clean; the
+		// topology is identical (same builder, same seed).
+		net, _ := mmlpt.BuildScenario(42, src, dst, mmlpt.MaxLength2Diamond)
+		prober := mmlpt.NewSimProber(net, src, dst)
+		res := mmlpt.Trace(prober, mmlpt.Options{Algorithm: r.algo, Seed: uint64(i) + 7})
+		g := res.IP.Graph
+		fmt.Printf("%-32s %8d %9d %7d\n", r.name, res.Probes(), g.NumVertices(), g.NumEdges())
+	}
+	fmt.Println("\nthe single-flow trace reports one healthy path; 27 interfaces that")
+	fmt.Println("could be black-holing traffic are invisible to it. The MDA-Lite sees")
+	fmt.Println("all of them for roughly 60% of the MDA's probe cost.")
+}

@@ -1,0 +1,88 @@
+package alias
+
+import (
+	"mmlpt/internal/packet"
+)
+
+// Pairs-based precision and recall, used by the Fig 5 evaluation: alias
+// resolution quality at round r is measured against the round-10 sets as
+// the best available determination (the paper has no ground truth; the
+// simulator does, and the survey code also evaluates against it).
+
+// AliasPairs extracts the set of unordered alias pairs implied by a
+// partition: every pair inside an Accepted set of two or more addresses.
+func AliasPairs(sets []Set) map[[2]packet.Addr]bool {
+	out := make(map[[2]packet.Addr]bool)
+	for _, s := range sets {
+		if s.Outcome != Accepted || len(s.Addrs) < 2 {
+			continue
+		}
+		for i := 0; i < len(s.Addrs); i++ {
+			for j := i + 1; j < len(s.Addrs); j++ {
+				a, b := s.Addrs[i], s.Addrs[j]
+				if a > b {
+					a, b = b, a
+				}
+				out[[2]packet.Addr{a, b}] = true
+			}
+		}
+	}
+	return out
+}
+
+// PrecisionRecall compares predicted alias pairs against reference pairs.
+// Empty prediction and reference sets count as perfect agreement.
+func PrecisionRecall(pred, ref map[[2]packet.Addr]bool) (precision, recall float64) {
+	if len(pred) == 0 && len(ref) == 0 {
+		return 1, 1
+	}
+	var hit int
+	for p := range pred {
+		if ref[p] {
+			hit++
+		}
+	}
+	if len(pred) == 0 {
+		precision = 1
+	} else {
+		precision = float64(hit) / float64(len(pred))
+	}
+	if len(ref) == 0 {
+		recall = 1
+	} else {
+		recall = float64(hit) / float64(len(ref))
+	}
+	return precision, recall
+}
+
+// GroundTruthPairs builds the reference pair set from a router assignment:
+// addresses mapping to the same router ID are aliases.
+func GroundTruthPairs(routerOf map[packet.Addr]int, addrs []packet.Addr) map[[2]packet.Addr]bool {
+	out := make(map[[2]packet.Addr]bool)
+	for i := 0; i < len(addrs); i++ {
+		for j := i + 1; j < len(addrs); j++ {
+			ri, oki := routerOf[addrs[i]]
+			rj, okj := routerOf[addrs[j]]
+			if oki && okj && ri == rj {
+				a, b := addrs[i], addrs[j]
+				if a > b {
+					a, b = b, a
+				}
+				out[[2]packet.Addr{a, b}] = true
+			}
+		}
+	}
+	return out
+}
+
+// RouterSets filters a partition to the sets identified as routers: two
+// or more addresses, accepted.
+func RouterSets(sets []Set) []Set {
+	var out []Set
+	for _, s := range sets {
+		if s.Outcome == Accepted && len(s.Addrs) >= 2 {
+			out = append(out, s)
+		}
+	}
+	return out
+}

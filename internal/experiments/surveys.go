@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"mmlpt/internal/core"
+	"mmlpt/internal/mda"
+	"mmlpt/internal/stats"
+	"mmlpt/internal/survey"
+)
+
+// SurveyConfig scales the Sec 5 surveys.
+type SurveyConfig struct {
+	Pairs  int
+	Seed   uint64
+	Phi    int
+	Rounds int // alias rounds for the router-level survey
+}
+
+// IPSurvey runs the Sec 5.1 IP-level survey with the MDA (as the paper
+// did) and returns the result for figure extraction.
+func IPSurvey(cfg SurveyConfig) *survey.Result {
+	if cfg.Pairs == 0 {
+		cfg.Pairs = 400
+	}
+	u := survey.Generate(survey.GenConfig{Seed: cfg.Seed ^ 0x1b5e7, Pairs: cfg.Pairs})
+	return survey.Run(u, survey.RunConfig{
+		Algo: survey.AlgoMDA, Phi: cfg.Phi, Retries: 1,
+		Trace: mda.Config{Seed: cfg.Seed},
+	})
+}
+
+// RouterSurvey runs the Sec 5.2 router-level survey with the multilevel
+// tracer over the load-balanced pairs.
+func RouterSurvey(cfg SurveyConfig) (*survey.Result, []survey.RouterRecord) {
+	if cfg.Pairs == 0 {
+		cfg.Pairs = 200
+	}
+	if cfg.Rounds == 0 {
+		cfg.Rounds = 10
+	}
+	u := survey.Generate(survey.GenConfig{Seed: cfg.Seed ^ 0x1b5e8, Pairs: cfg.Pairs})
+	res := survey.Run(u, survey.RunConfig{
+		Algo: survey.AlgoMultilevel, Phi: cfg.Phi, Retries: 1,
+		OnlyLB: true, Rounds: cfg.Rounds,
+		Trace: mda.Config{Seed: cfg.Seed},
+	})
+	return res, survey.RouterView(res)
+}
+
+// FormatFig2 renders the missing-meshing probability CDFs.
+func FormatFig2(res *survey.Result) string {
+	var b strings.Builder
+	b.WriteString("# Fig 2: probability of failing to detect meshing (phi=2), per meshed hop pair\n")
+	for _, w := range []survey.Weighting{survey.Measured, survey.Distinct} {
+		cdf := res.MeshMissCDF(w)
+		fmt.Fprintf(&b, "## %s: n=%d, P(miss<=0.1)=%.2f, P(miss<=0.25)=%.2f (paper: ~0.70 and ~0.95)\n",
+			w, cdf.N(), cdf.At(0.1), cdf.At(0.25))
+		b.WriteString(stats.FormatCDF(cdf, w.String()))
+	}
+	return b.String()
+}
+
+// FormatFig7 renders the width-asymmetry distributions.
+func FormatFig7(res *survey.Result) string {
+	var b strings.Builder
+	b.WriteString("# Fig 7: max width asymmetry distribution (portion of diamonds)\n")
+	for _, w := range []survey.Weighting{survey.Measured, survey.Distinct} {
+		h := res.WidthAsymmetryDist(w)
+		fmt.Fprintf(&b, "## %s: zero-asymmetry portion %.3f (paper: ~0.89)\n", w, h.Portion(0))
+		for _, k := range h.Keys() {
+			fmt.Fprintf(&b, "%d %.6f\n", k, h.Portion(k))
+		}
+	}
+	return b.String()
+}
+
+// FormatFig8 renders the max probability difference CDFs.
+func FormatFig8(res *survey.Result) string {
+	var b strings.Builder
+	b.WriteString("# Fig 8: max probability difference, asymmetric unmeshed diamonds\n")
+	for _, w := range []survey.Weighting{survey.Measured, survey.Distinct} {
+		cdf := res.MaxProbDiffCDF(w)
+		fmt.Fprintf(&b, "## %s: n=%d, P(diff<=0.25)=%.2f, P(diff<=0.5)=%.2f (paper: 0.90/0.58 and ~0.99)\n",
+			w, cdf.N(), cdf.At(0.25), cdf.At(0.5))
+		b.WriteString(stats.FormatCDF(cdf, w.String()))
+	}
+	return b.String()
+}
+
+// FormatFig9 renders the ratio-of-meshed-hops CDFs.
+func FormatFig9(res *survey.Result) string {
+	var b strings.Builder
+	b.WriteString("# Fig 9: ratio of meshed hops over meshed diamonds\n")
+	for _, w := range []survey.Weighting{survey.Measured, survey.Distinct} {
+		cdf := res.MeshedRatioCDF(w)
+		fmt.Fprintf(&b, "## %s: n=%d, P(ratio<=0.4)=%.2f (paper: >0.80)\n", w, cdf.N(), cdf.At(0.4))
+		b.WriteString(stats.FormatCDF(cdf, w.String()))
+	}
+	return b.String()
+}
+
+// FormatFig10 renders the max length and max width distributions.
+func FormatFig10(res *survey.Result) string {
+	var b strings.Builder
+	b.WriteString("# Fig 10: max length and max width distributions\n")
+	for _, w := range []survey.Weighting{survey.Measured, survey.Distinct} {
+		lh := res.LengthDist(w)
+		fmt.Fprintf(&b, "## %s length: len2 portion %.3f (paper: ~0.48)\n", w, lh.Portion(2))
+		for _, k := range lh.Keys() {
+			fmt.Fprintf(&b, "len %d %.6f\n", k, lh.Portion(k))
+		}
+		wh := res.WidthDist(w)
+		fmt.Fprintf(&b, "## %s width: w48 %.4f w56 %.4f max %d\n",
+			w, wh.Portion(48), wh.Portion(56), maxKey(wh))
+		for _, k := range wh.Keys() {
+			fmt.Fprintf(&b, "width %d %.6f\n", k, wh.Portion(k))
+		}
+	}
+	return b.String()
+}
+
+func maxKey(h *stats.Histogram) int {
+	keys := h.Keys()
+	if len(keys) == 0 {
+		return 0
+	}
+	return keys[len(keys)-1]
+}
+
+// FormatFig11 renders the joint length×width distribution.
+func FormatFig11(res *survey.Result) string {
+	var b strings.Builder
+	b.WriteString("# Fig 11: joint (max length, max width) counts\n")
+	for _, w := range []survey.Weighting{survey.Measured, survey.Distinct} {
+		j := res.JointLengthWidth(w)
+		fmt.Fprintf(&b, "## %s (total %d)\n", w, j.Total)
+		for _, c := range j.Cells() {
+			fmt.Fprintf(&b, "%d %d %d\n", c[0], c[1], c[2])
+		}
+	}
+	return b.String()
+}
+
+// FormatFig12 renders the router-size CDFs.
+func FormatFig12(records []survey.RouterRecord) string {
+	distinct, aggregated := survey.RouterSizeCDFs(records)
+	var b strings.Builder
+	b.WriteString("# Fig 12: router size (interfaces per router)\n")
+	fmt.Fprintf(&b, "## distinct: n=%d, P(size=2)=%.2f, P(size<=10)=%.2f (paper: 0.68 and 0.97)\n",
+		distinct.N(), distinct.At(2)-distinct.At(1), distinct.At(10))
+	b.WriteString(stats.FormatCDF(distinct, "distinct"))
+	fmt.Fprintf(&b, "## aggregated: n=%d, max=%.0f (paper: >50 exists)\n", aggregated.N(), aggregated.Max())
+	b.WriteString(stats.FormatCDF(aggregated, "aggregated"))
+	return b.String()
+}
+
+// FormatTable3 renders the alias-resolution effect fractions.
+func FormatTable3(res *survey.Result, records []survey.RouterRecord) string {
+	t := survey.Table3(res, records)
+	var b strings.Builder
+	b.WriteString("# Table 3: effect of alias resolution on unique diamonds\n")
+	paper := map[core.DiamondEffect]float64{
+		core.EffectNoChange:        0.579,
+		core.EffectSingleSmaller:   0.355,
+		core.EffectMultipleSmaller: 0.006,
+		core.EffectOnePath:         0.058,
+	}
+	for _, e := range []core.DiamondEffect{
+		core.EffectNoChange, core.EffectSingleSmaller,
+		core.EffectMultipleSmaller, core.EffectOnePath,
+	} {
+		fmt.Fprintf(&b, "%-28s %.3f   (paper: %.3f)\n", e, t[e], paper[e])
+	}
+	return b.String()
+}
+
+// FormatFig13 renders the before/after width distributions.
+func FormatFig13(res *survey.Result, records []survey.RouterRecord) string {
+	before, after := survey.WidthBeforeAfter(res, records)
+	var b strings.Builder
+	b.WriteString("# Fig 13: max width of unique diamonds, IP level vs router level\n")
+	fmt.Fprintf(&b, "## IP level: w48 %.4f w56 %.4f\n", before.Portion(48), before.Portion(56))
+	for _, k := range before.Keys() {
+		fmt.Fprintf(&b, "ip %d %.6f\n", k, before.Portion(k))
+	}
+	fmt.Fprintf(&b, "## router level: w48 %.4f w56 %.4f (paper: 48 peak remains, 56 disappears)\n",
+		after.Portion(48), after.Portion(56))
+	for _, k := range after.Keys() {
+		fmt.Fprintf(&b, "router %d %.6f\n", k, after.Portion(k))
+	}
+	return b.String()
+}
+
+// FormatFig14 renders the joint before/after width distribution.
+func FormatFig14(res *survey.Result, records []survey.RouterRecord) string {
+	j := survey.JointWidthBeforeAfter(res, records)
+	var b strings.Builder
+	b.WriteString("# Fig 14: joint (width before, width after) for changed diamonds\n")
+	fmt.Fprintf(&b, "## total changed: %d\n", j.Total)
+	for _, c := range j.Cells() {
+		fmt.Fprintf(&b, "%d %d %d\n", c[0], c[1], c[2])
+	}
+	return b.String()
+}

@@ -1,0 +1,443 @@
+package fakeroute
+
+import (
+	"fmt"
+
+	"mmlpt/internal/nprand"
+	"mmlpt/internal/packet"
+	"mmlpt/internal/topo"
+)
+
+// LBMode selects a load balancer's dispatch policy.
+type LBMode int
+
+const (
+	// LBPerFlow hashes the probe's 5-tuple: the common case the Paris
+	// technique and the MDA are built for.
+	LBPerFlow LBMode = iota
+	// LBPerPacket dispatches uniformly at random per packet, violating
+	// MDA assumption (2). Rare in the wild (Augustin et al. 2011); used
+	// for failure-injection tests.
+	LBPerPacket
+	// LBPerDestination hashes only the destination address, so all probe
+	// flows to one destination follow a single path.
+	LBPerDestination
+)
+
+// PathKey identifies a ground-truth path.
+type PathKey struct {
+	Src, Dst packet.Addr
+}
+
+// Path is the ground-truth topology for one (source, destination) pair.
+// Hop 0 of the graph holds the single first-hop vertex; the last hop holds
+// a vertex whose address is the destination.
+type Path struct {
+	Key   PathKey
+	Graph *topo.Graph
+	// LB maps a vertex to its dispatch policy; vertices absent from the
+	// map use LBPerFlow.
+	LB map[topo.VertexID]LBMode
+	// WeightedEdges optionally assigns non-uniform dispatch weights to a
+	// vertex's successor edges (violating MDA assumption (3)). Keyed by
+	// vertex; the slice is index-aligned with the vertex's successors.
+	WeightedEdges map[topo.VertexID][]float64
+	// Alt, when non-nil, replaces Graph once the network clock reaches
+	// AltAt: a routing change mid-measurement, violating MDA assumption
+	// (1). The alternate graph's interfaces must be registered.
+	Alt   *topo.Graph
+	AltAt uint64
+}
+
+// activeGraph returns the topology in force at tick now.
+func (p *Path) activeGraph(now uint64) *topo.Graph {
+	if p.Alt != nil && now >= p.AltAt {
+		return p.Alt
+	}
+	return p.Graph
+}
+
+// Network is the simulated internet.
+type Network struct {
+	rng     *nprand.Source
+	routers []*Router
+	ifaces  map[packet.Addr]*Iface
+	paths   map[PathKey]*Path
+
+	// LossProb drops each reply independently with this probability
+	// (models ICMP rate limiting noise and loss; default 0).
+	LossProb float64
+
+	clock uint64
+
+	// Stats
+	ProbesSeen  uint64
+	RepliesSent uint64
+	Dropped     uint64
+}
+
+// NewNetwork creates an empty simulated network with the given seed.
+func NewNetwork(seed uint64) *Network {
+	return &Network{
+		rng:    nprand.New(seed),
+		ifaces: make(map[packet.Addr]*Iface),
+		paths:  make(map[PathKey]*Path),
+	}
+}
+
+// Clock returns the simulated tick counter (one tick per handled probe).
+func (n *Network) Clock() uint64 { return n.clock }
+
+// AdvanceClock pushes simulated time forward without traffic: router
+// token buckets refill and background IP ID velocity accrues. Pacing
+// probers use it to model waiting out ICMP rate limits.
+func (n *Network) AdvanceClock(ticks uint64) { n.clock += ticks }
+
+// NewRouter allocates a router with sane defaults: shared IP ID counter,
+// modest background velocity, Cisco-like fingerprint, echo-responsive.
+// The counter starts at a random phase, as real counters do: without
+// random phases, independent routers' counters would run in near-lockstep
+// and the Monotonic Bounds Test would see false aliases everywhere.
+func (n *Network) NewRouter() *Router {
+	r := &Router{
+		ID:                 len(n.routers),
+		IPID:               IPIDShared,
+		Velocity:           0.2,
+		InitialTTLExceeded: 255,
+		InitialTTLEcho:     255,
+		RespondsToEcho:     true,
+		sharedCtr:          uint16(n.rng.Uint64()),
+	}
+	n.routers = append(n.routers, r)
+	return r
+}
+
+// Routers returns all routers in creation order.
+func (n *Network) Routers() []*Router { return n.routers }
+
+// AddIface assigns addr to router r. It panics if the address is taken.
+func (n *Network) AddIface(r *Router, addr packet.Addr) *Iface {
+	if addr == 0 {
+		panic("fakeroute: zero interface address")
+	}
+	if _, dup := n.ifaces[addr]; dup {
+		panic(fmt.Sprintf("fakeroute: duplicate interface %s", addr))
+	}
+	ifc := &Iface{Addr: addr, Router: r, ctr: uint16(n.rng.Uint64())}
+	n.ifaces[addr] = ifc
+	r.interfaces = append(r.interfaces, addr)
+	return ifc
+}
+
+// Iface returns the interface with the given address, or nil.
+func (n *Network) Iface(addr packet.Addr) *Iface { return n.ifaces[addr] }
+
+// RouterOf returns the router owning addr, or nil.
+func (n *Network) RouterOf(addr packet.Addr) *Router {
+	if ifc := n.ifaces[addr]; ifc != nil {
+		return ifc.Router
+	}
+	return nil
+}
+
+// AddPath registers the ground-truth topology for (src, dst). Every
+// non-destination vertex address must already be an interface; the helper
+// EnsureIfaces can create one router per address first. The final hop must
+// contain exactly one vertex whose address equals dst.
+func (n *Network) AddPath(src, dst packet.Addr, g *topo.Graph) *Path {
+	if g.NumHops() == 0 {
+		panic("fakeroute: empty path graph")
+	}
+	last := g.Hop(g.NumHops() - 1)
+	if len(last) != 1 || g.V(last[0]).Addr != dst {
+		panic("fakeroute: path must end at a single destination vertex")
+	}
+	for i := range g.Vertices {
+		v := &g.Vertices[i]
+		if v.Addr == topo.StarAddr || v.Addr == dst {
+			continue
+		}
+		if n.ifaces[v.Addr] == nil {
+			panic(fmt.Sprintf("fakeroute: vertex %s has no interface; call EnsureIfaces", v.Addr))
+		}
+	}
+	p := &Path{Key: PathKey{Src: src, Dst: dst}, Graph: g, LB: map[topo.VertexID]LBMode{}}
+	n.paths[p.Key] = p
+	return p
+}
+
+// EnsureIfaces creates, for every non-star non-destination address in g
+// that has no interface yet, a fresh router owning just that address. This
+// is the "every IP is its own router" default; alias-resolution scenarios
+// group addresses onto routers explicitly instead.
+func (n *Network) EnsureIfaces(g *topo.Graph, dst packet.Addr) {
+	for i := range g.Vertices {
+		a := g.Vertices[i].Addr
+		if a == topo.StarAddr || a == dst || n.ifaces[a] != nil {
+			continue
+		}
+		n.AddIface(n.NewRouter(), a)
+	}
+}
+
+// Path returns the registered path for (src, dst), or nil.
+func (n *Network) Path(src, dst packet.Addr) *Path { return n.paths[PathKey{src, dst}] }
+
+// Paths returns all registered paths.
+func (n *Network) Paths() []*Path {
+	out := make([]*Path, 0, len(n.paths))
+	for _, p := range n.paths {
+		out = append(out, p)
+	}
+	return out
+}
+
+// nextVertex applies the load balancing policy of vertex v for the probe,
+// over the topology g in force at this tick.
+func (n *Network) nextVertex(p *Path, g *topo.Graph, v topo.VertexID, pp *packet.ParsedProbe) topo.VertexID {
+	succ := g.Succ(v)
+	switch len(succ) {
+	case 0:
+		return topo.None
+	case 1:
+		return succ[0]
+	}
+	mode := p.LB[v]
+	var idx int
+	if w := p.WeightedEdges[v]; w != nil {
+		// Weighted dispatch: hash the flow into [0,1) deterministically
+		// and walk the cumulative weights, so one flow still sticks to
+		// one successor.
+		var x float64
+		switch mode {
+		case LBPerPacket:
+			x = n.rng.Float64()
+		case LBPerDestination:
+			x = float64(nprand.FlowHash(vertexKey(p, g, v), uint64(pp.IP.Dst))>>11) / (1 << 53)
+		default:
+			x = float64(nprand.FlowHash(vertexKey(p, g, v), pp.FlowKey())>>11) / (1 << 53)
+		}
+		var total float64
+		for _, wi := range w {
+			total += wi
+		}
+		x *= total
+		for i, wi := range w {
+			x -= wi
+			if x < 0 {
+				idx = i
+				break
+			}
+			idx = i
+		}
+		return succ[idx]
+	}
+	switch mode {
+	case LBPerPacket:
+		idx = n.rng.Intn(len(succ))
+	case LBPerDestination:
+		idx = int(nprand.FlowHash(vertexKey(p, g, v), uint64(pp.IP.Dst)) % uint64(len(succ)))
+	default:
+		idx = int(nprand.FlowHash(vertexKey(p, g, v), pp.FlowKey()) % uint64(len(succ)))
+	}
+	return succ[idx]
+}
+
+// vertexKey is the stable per-load-balancer hash key. Star vertices have
+// no address, so their hop and path key disambiguate them.
+func vertexKey(p *Path, g *topo.Graph, v topo.VertexID) uint64 {
+	a := g.V(v).Addr
+	if a != topo.StarAddr {
+		return uint64(a)
+	}
+	return uint64(p.Key.Src)<<32 ^ uint64(p.Key.Dst) ^ uint64(v)<<8 ^ 0xdead
+}
+
+// HandleProbe accepts one serialized probe packet and returns the
+// serialized reply, or nil if the probe is dropped (loss, rate limiting,
+// star hop, or no reply per the topology).
+func (n *Network) HandleProbe(raw []byte) []byte {
+	n.clock++
+	n.ProbesSeen++
+
+	// Echo (direct) probes are dispatched to the target interface.
+	var outerProto byte
+	if len(raw) >= 10 {
+		outerProto = raw[9]
+	}
+	if outerProto == packet.ProtoICMP {
+		return n.handleEcho(raw)
+	}
+
+	pp, err := packet.ParseProbe(raw)
+	if err != nil {
+		n.Dropped++
+		return nil
+	}
+	p := n.paths[PathKey{Src: pp.IP.Src, Dst: pp.IP.Dst}]
+	if p == nil {
+		n.Dropped++
+		return nil
+	}
+	g := p.activeGraph(n.clock)
+	dstHop := g.NumHops() - 1
+	cur := g.Hop(0)[0]
+	hop := 0
+	ttl := int(pp.IP.TTL)
+	// The probe is forwarded until its TTL expires or it reaches the
+	// destination host. hop h is reached after h+1 TTL decrements.
+	for ttl > 1 && hop < dstHop {
+		next := n.nextVertex(p, g, cur, pp)
+		if next == topo.None {
+			break // dead end: silent drop (routing hole)
+		}
+		cur = next
+		hop++
+		ttl--
+	}
+	v := g.V(cur)
+	atDst := hop == dstHop
+	if v.Addr == topo.StarAddr {
+		n.Dropped++
+		return nil // star: the hop never answers
+	}
+	if n.LossProb > 0 && n.rng.Float64() < n.LossProb {
+		n.Dropped++
+		return nil
+	}
+	if atDst {
+		return n.craftPortUnreachable(pp, v.Addr, hop)
+	}
+	ifc := n.ifaces[v.Addr]
+	if ifc == nil {
+		n.Dropped++
+		return nil
+	}
+	if !ifc.Router.allowReply(n.clock) {
+		n.Dropped++
+		return nil
+	}
+	return n.craftTimeExceeded(pp, ifc, hop, raw)
+}
+
+// craftTimeExceeded builds the ICMP Time Exceeded reply from ifc at
+// forward distance hop (0-based).
+func (n *Network) craftTimeExceeded(pp *packet.ParsedProbe, ifc *Iface, hop int, probeRaw []byte) []byte {
+	r := ifc.Router
+	icmp := packet.ICMP{
+		Type:    packet.ICMPTypeTimeExceeded,
+		Code:    packet.ICMPCodeTTLExceeded,
+		Payload: quoteProbe(probeRaw),
+	}
+	if label := ifc.effectiveLabel(n.clock, n.rng); label != 0 {
+		icmp.Extensions = packet.EncodeMPLSExtension([]packet.MPLSLabelStackEntry{
+			{Label: label, S: true, TTL: 1},
+		})
+	}
+	body := icmp.SerializeTo(nil)
+	replyTTL := int(r.InitialTTLExceeded) - (hop + 1)
+	if replyTTL < 1 {
+		replyTTL = 1
+	}
+	ip := packet.IPv4{
+		ID:       n.nextIPID(ifc, true, pp.IP.ID, n.clock),
+		TTL:      byte(replyTTL),
+		Protocol: packet.ProtoICMP,
+		Src:      ifc.Addr,
+		Dst:      pp.IP.Src,
+	}
+	buf := make([]byte, 0, packet.IPv4HeaderLen+len(body))
+	buf = ip.SerializeTo(buf, len(body))
+	n.RepliesSent++
+	return append(buf, body...)
+}
+
+// craftPortUnreachable builds the destination's ICMP Port Unreachable.
+func (n *Network) craftPortUnreachable(pp *packet.ParsedProbe, dst packet.Addr, hop int) []byte {
+	// Re-serialize the quoted probe from its parsed form: the host quotes
+	// the datagram as received, with the TTL it saw on arrival.
+	quoted := packet.Probe{
+		Src: pp.IP.Src, Dst: pp.IP.Dst,
+		FlowID: pp.FlowID, TTL: 1, Checksum: pp.Identity,
+	}
+	icmp := packet.ICMP{
+		Type:    packet.ICMPTypeDestUnreachable,
+		Code:    packet.ICMPCodePortUnreachable,
+		Payload: quoteProbe(quoted.Serialize()),
+	}
+	body := icmp.SerializeTo(nil)
+	replyTTL := 64 - (hop + 1)
+	if replyTTL < 1 {
+		replyTTL = 1
+	}
+	// Destination hosts typically have a normal host IP stack: shared,
+	// fast-moving ID counter. Model with a per-destination hash-derived
+	// stride so repeated traces stay plausible.
+	id := uint16(nprand.FlowHash(uint64(dst), n.clock))
+	ip := packet.IPv4{
+		ID:       id,
+		TTL:      byte(replyTTL),
+		Protocol: packet.ProtoICMP,
+		Src:      dst,
+		Dst:      pp.IP.Src,
+	}
+	buf := make([]byte, 0, packet.IPv4HeaderLen+len(body))
+	buf = ip.SerializeTo(buf, len(body))
+	n.RepliesSent++
+	return append(buf, body...)
+}
+
+// handleEcho answers a direct ICMP Echo probe.
+func (n *Network) handleEcho(raw []byte) []byte {
+	var outer packet.IPv4
+	body, err := outer.DecodeFromBytes(raw)
+	if err != nil {
+		n.Dropped++
+		return nil
+	}
+	var echo packet.ICMP
+	if err := echo.DecodeFromBytes(body); err != nil || echo.Type != packet.ICMPTypeEcho {
+		n.Dropped++
+		return nil
+	}
+	ifc := n.ifaces[outer.Dst]
+	if ifc == nil {
+		n.Dropped++
+		return nil
+	}
+	r := ifc.Router
+	if !r.RespondsToEcho {
+		n.Dropped++
+		return nil
+	}
+	if !r.allowReply(n.clock) {
+		n.Dropped++
+		return nil
+	}
+	if n.LossProb > 0 && n.rng.Float64() < n.LossProb {
+		n.Dropped++
+		return nil
+	}
+	reply := packet.ICMP{Type: packet.ICMPTypeEchoReply, ID: echo.ID, Seq: echo.Seq, Payload: echo.Payload}
+	rbody := reply.SerializeTo(nil)
+	ip := packet.IPv4{
+		ID:       n.nextIPID(ifc, false, outer.ID, n.clock),
+		TTL:      r.InitialTTLEcho - 4, // nominal return distance
+		Protocol: packet.ProtoICMP,
+		Src:      outer.Dst,
+		Dst:      outer.Src,
+	}
+	buf := make([]byte, 0, packet.IPv4HeaderLen+len(rbody))
+	buf = ip.SerializeTo(buf, len(rbody))
+	n.RepliesSent++
+	return append(buf, rbody...)
+}
+
+// quoteProbe returns the portion of the probe a router quotes in an ICMP
+// error: the full IP header plus at least 8 bytes of payload (our probes
+// are small, so we quote them whole).
+func quoteProbe(raw []byte) []byte {
+	q := make([]byte, len(raw))
+	copy(q, raw)
+	return q
+}

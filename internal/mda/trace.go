@@ -1,0 +1,456 @@
+package mda
+
+import (
+	"mmlpt/internal/nprand"
+	"mmlpt/internal/obs"
+	"mmlpt/internal/packet"
+	"mmlpt/internal/probe"
+	"mmlpt/internal/topo"
+)
+
+// Config parametrizes a multipath trace.
+type Config struct {
+	// Stop is the stopping-point table n_k; nil selects Default95 sized
+	// for wide hops.
+	Stop []int
+	// MaxTTL bounds the trace depth. Zero selects 32.
+	MaxTTL int
+	// MaxConsecutiveStars aborts the trace after this many all-silent
+	// hops. Zero selects 3.
+	MaxConsecutiveStars int
+	// Seed drives the random flow-identifier choice. Traces with equal
+	// seeds over a deterministic network are identical.
+	Seed uint64
+	// Obs, when non-nil, accumulates alias-resolution observations.
+	Obs *obs.Observations
+	// DisableFlowReuse makes the MDA-Lite start every hop with fresh
+	// flow identifiers instead of reusing the previous hop's (an ablation
+	// switch: reuse is where the hop-by-hop edge knowledge comes from,
+	// so disabling it shifts work onto the edge-completion step).
+	DisableFlowReuse bool
+}
+
+func (c *Config) fill() {
+	if c.Stop == nil {
+		c.Stop = Default95(128)
+	}
+	if c.MaxTTL == 0 {
+		c.MaxTTL = 32
+	}
+	if c.MaxConsecutiveStars == 0 {
+		c.MaxConsecutiveStars = 3
+	}
+}
+
+// Result is the outcome of a trace.
+type Result struct {
+	Graph      *topo.Graph
+	ReachedDst bool
+	// DstHop is the hop index of the destination vertex, or -1.
+	DstHop int
+	// Probes is the total number of probe packets this trace sent.
+	Probes uint64
+	// SwitchedToMDA is set by the MDA-Lite when a meshing or asymmetry
+	// detection forced a switch to the full MDA.
+	SwitchedToMDA bool
+	// Obs carries the alias-resolution observations if requested.
+	Obs *obs.Observations
+}
+
+// Source is the sentinel vertex ID standing for the trace source: every
+// flow passes through it.
+const Source topo.VertexID = -2
+
+// Session holds the incremental state of a multipath trace: the graph
+// discovered so far, which flows are known to reach which vertex, and the
+// flow allocator. It is shared by the MDA and the MDA-Lite.
+type Session struct {
+	P   probe.Prober
+	Cfg Config
+	G   *topo.Graph
+	Rng *nprand.Source
+
+	flows    map[topo.VertexID][]uint16
+	flowAt   []map[uint16]topo.VertexID // per hop: flow → vertex
+	noReply  []map[uint16]bool          // per hop: flows that drew no reply
+	usedFlow map[uint16]bool
+	dstHop   int
+	baseSent uint64
+}
+
+// NewSession prepares a trace session over p.
+func NewSession(p probe.Prober, cfg Config) *Session {
+	cfg.fill()
+	t, e := p.Sent()
+	return &Session{
+		P:        p,
+		Cfg:      cfg,
+		G:        topo.New(),
+		Rng:      nprand.New(cfg.Seed ^ 0x6d646131),
+		flows:    make(map[topo.VertexID][]uint16),
+		usedFlow: make(map[uint16]bool),
+		dstHop:   -1,
+		baseSent: t + e,
+	}
+}
+
+// Reset discards all discovery state (graph, flow tables) while keeping
+// the prober and its cumulative packet counts: the MDA-Lite uses it when
+// switching over to the full MDA.
+func (s *Session) Reset() {
+	s.G = topo.New()
+	s.flows = make(map[topo.VertexID][]uint16)
+	s.flowAt = nil
+	s.noReply = nil
+	s.usedFlow = make(map[uint16]bool)
+	s.dstHop = -1
+}
+
+// DstHop returns the destination's hop index, or -1.
+func (s *Session) DstHop() int { return s.dstHop }
+
+// ProbesSent returns the probes sent since the session began.
+func (s *Session) ProbesSent() uint64 {
+	return probe.TotalSent(s.P) - s.baseSent
+}
+
+func (s *Session) hopTable(h int) map[uint16]topo.VertexID {
+	for len(s.flowAt) <= h {
+		s.flowAt = append(s.flowAt, make(map[uint16]topo.VertexID))
+	}
+	return s.flowAt[h]
+}
+
+func (s *Session) hopNoReply(h int) map[uint16]bool {
+	for len(s.noReply) <= h {
+		s.noReply = append(s.noReply, make(map[uint16]bool))
+	}
+	return s.noReply[h]
+}
+
+// VertexAt looks up (without probing) which vertex flow f reached at hop
+// h, if known.
+func (s *Session) VertexAt(h int, f uint16) (topo.VertexID, bool) {
+	if h < 0 || h >= len(s.flowAt) {
+		return topo.None, false
+	}
+	v, ok := s.flowAt[h][f]
+	return v, ok
+}
+
+// FlowsOf returns the flows known to reach v (the source sentinel has no
+// stored flows: mint fresh ones instead).
+func (s *Session) FlowsOf(v topo.VertexID) []uint16 { return s.flows[v] }
+
+// FreshFlow mints a random, never-used flow identifier. ok is false when
+// the space is exhausted.
+func (s *Session) FreshFlow() (uint16, bool) {
+	if len(s.usedFlow) >= packet.MaxFlowID {
+		return 0, false
+	}
+	for {
+		f := uint16(s.Rng.Uint64() % uint64(packet.MaxFlowID+1))
+		if !s.usedFlow[f] {
+			s.usedFlow[f] = true
+			return f, true
+		}
+	}
+}
+
+// ProbeHop sends flow f with a TTL expiring at hop h and integrates the
+// reply into the session state. It returns the vertex that answered
+// (possibly the destination's vertex), or (None, false) on no reply.
+// Every call sends a packet; use VertexAt to avoid redundant sends.
+func (s *Session) ProbeHop(h int, f uint16) (topo.VertexID, bool) {
+	reply := s.P.Probe(f, h+1)
+	if reply == nil {
+		s.hopNoReply(h)[f] = true
+		return topo.None, false
+	}
+	var v topo.VertexID
+	if reply.IsPortUnreachable() && reply.From == s.P.Dst() {
+		if s.dstHop < 0 || h < s.dstHop {
+			s.dstHop = h
+		}
+		v = s.G.AddVertex(s.dstHop, reply.From)
+		h = s.dstHop
+	} else {
+		v = s.G.AddVertex(h, reply.From)
+	}
+	s.hopTable(h)[f] = v
+	s.addFlow(v, f)
+	if s.Cfg.Obs != nil {
+		t, e := s.P.Sent()
+		s.Cfg.Obs.RecordTrace(reply, f, h+1, h, t+e)
+	}
+	return v, true
+}
+
+func (s *Session) addFlow(v topo.VertexID, f uint16) {
+	for _, x := range s.flows[v] {
+		if x == f {
+			return
+		}
+	}
+	s.flows[v] = append(s.flows[v], f)
+}
+
+// AdoptStarFlows assigns every no-reply flow at hop h to the star vertex
+// star, so node control can operate through silent hops.
+func (s *Session) AdoptStarFlows(h int, star topo.VertexID) {
+	for f := range s.hopNoReply(h) {
+		s.hopTable(h)[f] = star
+		s.addFlow(star, f)
+	}
+}
+
+// flowThrough returns a flow of v not present in used, minting flows via
+// node control when necessary. For the Source sentinel a fresh flow is
+// returned directly (every flow passes the source). The second return is
+// false when no further flow can be obtained.
+func (s *Session) flowThrough(v topo.VertexID, used map[uint16]bool) (uint16, bool) {
+	if v == Source {
+		return s.FreshFlow()
+	}
+	for _, f := range s.flows[v] {
+		if !used[f] {
+			return f, true
+		}
+	}
+	// Node control: probe v's own hop with fresh flows until one lands on
+	// v. The attempt budget is a generous multiple of the hop width so a
+	// pathologically unlucky coupon-collector run terminates.
+	h := s.G.V(v).Hop
+	width := s.G.Width(h)
+	if width < 1 {
+		width = 1
+	}
+	budget := 8*width + 64
+	for a := 0; a < budget; a++ {
+		f, ok := s.FreshFlow()
+		if !ok {
+			return 0, false
+		}
+		w, _ := s.ProbeHop(h, f)
+		if w == v && !used[f] {
+			return f, true
+		}
+	}
+	return 0, false
+}
+
+// EnsureFlows tops up v's known flows to at least need distinct flow
+// identifiers, minting new ones through node control (probing v's own hop
+// with fresh flows until enough land on v). It reports whether the target
+// was met. This is the "limited application of node control" the
+// MDA-Lite's meshing test requires (Sec 2.3.2).
+func (s *Session) EnsureFlows(v topo.VertexID, need int) bool {
+	if v == Source {
+		return true
+	}
+	h := s.G.V(v).Hop
+	width := s.G.Width(h)
+	if width < 1 {
+		width = 1
+	}
+	budget := 8 * width * need
+	if budget < 64 {
+		budget = 64
+	}
+	for a := 0; len(s.flows[v]) < need && a < budget; a++ {
+		f, ok := s.FreshFlow()
+		if !ok {
+			return false
+		}
+		s.ProbeHop(h, f)
+	}
+	return len(s.flows[v]) >= need
+}
+
+// HopDone reports whether hop h consists solely of the destination,
+// meaning the trace is complete.
+func (s *Session) HopDone(h int) bool { return s.hopDone(h) }
+
+// IsDst reports whether v is the destination vertex.
+func (s *Session) IsDst(v topo.VertexID) bool { return s.isDst(v) }
+
+// DiscoverSuccessors runs the MDA's per-vertex discovery: find the
+// successors of v (at hop h-1; Source discovers hop 0) by probing hop h
+// with flows through v, under the stopping rule. It returns the number of
+// distinct successors found.
+func (s *Session) DiscoverSuccessors(v topo.VertexID, h int) int {
+	used := make(map[uint16]bool)
+	succ := make(map[topo.VertexID]bool)
+	sent := 0
+	allSilent := true
+	for sent < Stop(s.Cfg.Stop, max(len(succ), 1)) {
+		f, ok := s.flowThrough(v, used)
+		if !ok {
+			break
+		}
+		used[f] = true
+		// The flow may already have a known landing at hop h (it was
+		// probed there during another vertex's node control); reuse the
+		// knowledge without resending.
+		w, known := s.VertexAt(h, f)
+		if !known {
+			w, known = s.ProbeHop(h, f)
+			sent++
+		}
+		if !known {
+			continue
+		}
+		allSilent = false
+		if !succ[w] {
+			succ[w] = true
+			if v != Source {
+				s.G.AddEdge(v, w)
+			}
+		} else if v != Source {
+			s.G.AddEdge(v, w)
+		}
+	}
+	if allSilent && sent > 0 {
+		star := s.G.AddVertex(h, topo.StarAddr)
+		if v != Source {
+			s.G.AddEdge(v, star)
+		}
+		s.AdoptStarFlows(h, star)
+		succ[star] = true
+	}
+	return len(succ)
+}
+
+// Trace runs the full MDA and returns the discovered topology.
+func Trace(p probe.Prober, cfg Config) *Result {
+	s := NewSession(p, cfg)
+	s.RunMDA(0)
+	return s.Finish(false)
+}
+
+// RunMDA executes the MDA from hop startHop onward. When startHop is 0 the
+// source's successors are discovered first; otherwise hop startHop-1's
+// vertices must already exist in the session graph.
+func (s *Session) RunMDA(startHop int) {
+	if startHop == 0 {
+		s.DiscoverSuccessors(Source, 0)
+		startHop = 1
+	}
+	starRun := 0
+	for h := startHop; h <= s.Cfg.MaxTTL; h++ {
+		if s.hopDone(h - 1) {
+			return
+		}
+		// Worklist over hop h-1: node control during this hop's probing
+		// may reveal new hop h-1 vertices that then need processing too.
+		processed := make(map[topo.VertexID]bool)
+		for {
+			var v topo.VertexID = topo.None
+			for _, id := range s.G.Hop(h - 1) {
+				if !processed[id] && !s.isDst(id) {
+					v = id
+					break
+				}
+			}
+			if v == topo.None {
+				break
+			}
+			processed[v] = true
+			s.DiscoverSuccessors(v, h)
+		}
+		if s.hopAllStars(h) {
+			starRun++
+			if starRun >= s.Cfg.MaxConsecutiveStars {
+				return
+			}
+		} else {
+			starRun = 0
+		}
+	}
+}
+
+// hopDone reports whether hop h consists solely of the destination (or is
+// beyond it), meaning the trace is complete.
+func (s *Session) hopDone(h int) bool {
+	if s.dstHop >= 0 && h >= s.dstHop {
+		return true
+	}
+	vs := s.G.Hop(h)
+	if len(vs) == 0 {
+		return h > 0 // nothing to extend
+	}
+	for _, v := range vs {
+		if !s.isDst(v) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Session) hopAllStars(h int) bool {
+	vs := s.G.Hop(h)
+	if len(vs) == 0 {
+		return false
+	}
+	for _, v := range vs {
+		if s.G.V(v).Addr != topo.StarAddr {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Session) isDst(v topo.VertexID) bool {
+	return s.G.V(v).Addr == s.P.Dst()
+}
+
+// Finish assembles the Result.
+func (s *Session) Finish(switched bool) *Result {
+	return &Result{
+		Graph:         s.G,
+		ReachedDst:    s.dstHop >= 0,
+		DstHop:        s.dstHop,
+		Probes:        s.ProbesSent(),
+		SwitchedToMDA: switched,
+		Obs:           s.Cfg.Obs,
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TraceSingleFlow traces with one flow identifier only, the way Paris
+// Traceroute runs on RIPE Atlas (Sec 6.2): one probe per TTL (plus the
+// prober's retries), no multipath discovery.
+func TraceSingleFlow(p probe.Prober, cfg Config) *Result {
+	s := NewSession(p, cfg)
+	f, _ := s.FreshFlow()
+	starRun := 0
+	for h := 0; h <= s.Cfg.MaxTTL; h++ {
+		v, ok := s.ProbeHop(h, f)
+		if !ok {
+			star := s.G.AddVertex(h, topo.StarAddr)
+			if h > 0 && len(s.G.Hop(h-1)) > 0 {
+				s.G.AddEdge(s.G.Hop(h - 1)[0], star)
+			}
+			s.AdoptStarFlows(h, star)
+			starRun++
+			if starRun >= s.Cfg.MaxConsecutiveStars {
+				break
+			}
+			continue
+		}
+		starRun = 0
+		if h > 0 && len(s.G.Hop(h-1)) > 0 {
+			s.G.AddEdge(s.G.Hop(h - 1)[0], v)
+		}
+		if s.isDst(v) {
+			break
+		}
+	}
+	return s.Finish(false)
+}

@@ -1,0 +1,324 @@
+// Package mdalite implements the MDA-Lite (Sec 2.3): a reduced-overhead
+// alternative to the Multipath Detection Algorithm that proceeds hop by
+// hop rather than vertex by vertex, reserving node control for two
+// narrowly scoped tests:
+//
+//   - the meshing test, which spends ϕ flow identifiers per vertex to
+//     look for links that would invalidate hop-level probing, failing
+//     with the probability of Eq. (1); and
+//   - the width-asymmetry (non-uniformity) test, a free, purely
+//     topological check.
+//
+// When either test fires, the session switches over to the full MDA,
+// keeping the cumulative packet count.
+package mdalite
+
+import (
+	"mmlpt/internal/mda"
+	"mmlpt/internal/probe"
+	"mmlpt/internal/topo"
+)
+
+// DefaultPhi is the minimum (and default) meshing-test budget.
+const DefaultPhi = 2
+
+// Trace runs the MDA-Lite over p and returns the discovered topology.
+func Trace(p probe.Prober, cfg mda.Config, phi int) *mda.Result {
+	s := mda.NewSession(p, cfg)
+	return Run(s, phi)
+}
+
+// Run executes the MDA-Lite on a prepared session. On a meshing or
+// asymmetry detection it switches over to the full MDA from the affected
+// diamond onward, keeping the discovery state accumulated so far (the
+// vertices, edges and flow knowledge are all flow-confirmed, so nothing
+// needs re-probing; node control fills in what hop-level probing could
+// not guarantee). The result carries SwitchedToMDA.
+func Run(s *mda.Session, phi int) *mda.Result {
+	if phi < DefaultPhi {
+		phi = DefaultPhi
+	}
+	if switchHop, switched := runLite(s, phi); switched {
+		s.RunMDA(switchHop)
+		return s.Finish(true)
+	}
+	return s.Finish(false)
+}
+
+// runLite performs hop-by-hop discovery. On detecting meshing or
+// non-uniformity it returns the hop the full MDA should resume from (the
+// hop after the enclosing diamond's divergence point) and true.
+func runLite(s *mda.Session, phi int) (int, bool) {
+	discoverHop(s, 0)
+	starRun := 0
+	for h := 1; h <= s.Cfg.MaxTTL; h++ {
+		if s.HopDone(h - 1) {
+			return 0, false
+		}
+		discoverHop(s, h)
+		completeEdges(s, h-1)
+		if s.G.Width(h-1) >= 2 && s.G.Width(h) >= 2 {
+			if meshed := meshingTest(s, h-1, phi); meshed {
+				return divergenceHop(s, h-1) + 1, true
+			}
+		}
+		// Non-uniformity: width asymmetry over the completed pair.
+		if pairAsymmetric(s.G, h-1) {
+			return divergenceHop(s, h-1) + 1, true
+		}
+		if allStars(s, h) {
+			starRun++
+			if starRun >= s.Cfg.MaxConsecutiveStars {
+				return 0, false
+			}
+		} else {
+			starRun = 0
+		}
+	}
+	return 0, false
+}
+
+// divergenceHop walks back from hop h to the enclosing diamond's
+// divergence point: the nearest single-vertex hop at or before h.
+func divergenceHop(s *mda.Session, h int) int {
+	for d := h; d > 0; d-- {
+		if s.G.Width(d) == 1 {
+			return d
+		}
+	}
+	return 0
+}
+
+// discoverHop finds the vertices at hop h. Flows are tried in the
+// MDA-Lite's order: one flow from each vertex discovered at the previous
+// hop (seeding one edge per known predecessor), then the other flows
+// already used at the previous hop, then fresh ones. The MDA's hop-level
+// stopping rule applies: keep probing until the probe count reaches n_k,
+// where k is the number of vertices found at hop h so far.
+func discoverHop(s *mda.Session, h int) {
+	sent := 0
+	gotReply := false
+
+	tryFlow := func(f uint16) bool {
+		if _, known := s.VertexAt(h, f); known {
+			return false // no packet needed; knowledge already present
+		}
+		w, ok := s.ProbeHop(h, f)
+		sent++
+		if ok {
+			gotReply = true
+			if h > 0 {
+				if u, known := s.VertexAt(h-1, f); known {
+					s.G.AddEdge(u, w)
+				}
+			}
+		}
+		return true
+	}
+
+	stop := func() int { return mda.Stop(s.Cfg.Stop, maxInt(s.G.Width(h), 1)) }
+
+	if h > 0 && !s.Cfg.DisableFlowReuse {
+		// Pass 1: one flow per previous-hop vertex.
+		for _, u := range s.G.Hop(h - 1) {
+			if sent >= stop() {
+				break
+			}
+			if s.IsDst(u) {
+				continue
+			}
+			for _, f := range s.FlowsOf(u) {
+				if tryFlow(f) {
+					break
+				}
+			}
+		}
+		// Pass 2: remaining previously used flows.
+		for _, u := range s.G.Hop(h - 1) {
+			if s.IsDst(u) {
+				continue
+			}
+			for _, f := range s.FlowsOf(u) {
+				if sent >= stop() {
+					break
+				}
+				tryFlow(f)
+			}
+		}
+	}
+	// Pass 3: fresh flows.
+	for sent < stop() {
+		f, ok := s.FreshFlow()
+		if !ok {
+			break
+		}
+		tryFlow(f)
+	}
+	if !gotReply && sent > 0 {
+		star := s.G.AddVertex(h, topo.StarAddr)
+		s.AdoptStarFlows(h, star)
+		if h > 0 {
+			for _, u := range s.G.Hop(h - 1) {
+				if !s.IsDst(u) {
+					s.G.AddEdge(u, star)
+				}
+			}
+		}
+	}
+}
+
+// completeEdges runs the deterministic edge-completion step for the hop
+// pair (i, i+1) (Sec 2.3.1): forward probes from successor-less vertices
+// at hop i, backward probes from predecessor-less vertices at hop i+1.
+// Probing can (rarely) surface a vertex the stopping rule missed, so the
+// step loops until stable.
+func completeEdges(s *mda.Session, i int) {
+	for iter := 0; iter < 4; iter++ {
+		changed := false
+		wi, wj := s.G.Width(i), s.G.Width(i+1)
+		if wj <= wi {
+			// Forward tracing for hop i vertices lacking successors.
+			for _, u := range s.G.Hop(i) {
+				if s.G.OutDegree(u) > 0 || s.IsDst(u) || s.G.V(u).Addr == topo.StarAddr {
+					continue
+				}
+				for _, f := range s.FlowsOf(u) {
+					if w, known := s.VertexAt(i+1, f); known {
+						s.G.AddEdge(u, w)
+						changed = true
+						break
+					}
+					if w, ok := s.ProbeHop(i+1, f); ok {
+						s.G.AddEdge(u, w)
+						changed = true
+						break
+					}
+				}
+			}
+		}
+		if wj >= wi {
+			// Backward tracing for hop i+1 vertices lacking predecessors.
+			for _, w := range s.G.Hop(i + 1) {
+				if s.G.InDegree(w) > 0 || s.G.V(w).Addr == topo.StarAddr {
+					continue
+				}
+				for _, f := range s.FlowsOf(w) {
+					if u, known := s.VertexAt(i, f); known {
+						s.G.AddEdge(u, w)
+						changed = true
+						break
+					}
+					if u, ok := s.ProbeHop(i, f); ok {
+						s.G.AddEdge(u, w)
+						changed = true
+						break
+					}
+				}
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// meshingTest applies the Sec 2.3.2 test to hop pair (i, i+1), tracing
+// from the hop with the greater number of vertices toward the other with
+// ϕ flow identifiers per vertex. It reports whether meshing was detected.
+func meshingTest(s *mda.Session, i, phi int) bool {
+	wi, wj := s.G.Width(i), s.G.Width(i+1)
+	forward := wi >= wj // trace from the wider hop; ties go forward
+	fromHop, toHop := i, i+1
+	if !forward {
+		fromHop, toHop = i+1, i
+	}
+	for _, v := range s.G.Hop(fromHop) {
+		if s.IsDst(v) || s.G.V(v).Addr == topo.StarAddr {
+			continue
+		}
+		s.EnsureFlows(v, phi)
+		flows := s.FlowsOf(v)
+		if len(flows) > phi {
+			flows = flows[:phi]
+		}
+		for _, f := range flows {
+			w, ok := s.VertexAt(toHop, f)
+			if !ok {
+				w, ok = s.ProbeHop(toHop, f)
+			}
+			if ok {
+				// A cached landing carries the same evidence as a fresh
+				// probe: record the edge either way.
+				if forward {
+					s.G.AddEdge(v, w)
+				} else {
+					s.G.AddEdge(w, v)
+				}
+			}
+		}
+	}
+	if forward {
+		for _, v := range s.G.Hop(i) {
+			if s.G.OutDegree(v) >= 2 {
+				return true
+			}
+		}
+	} else {
+		for _, v := range s.G.Hop(i + 1) {
+			if s.G.InDegree(v) >= 2 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// pairAsymmetric implements the non-uniformity detector (Sec 2.3.3): the
+// hop pair shows width asymmetry if successor counts differ across hop i
+// or predecessor counts differ across hop i+1. Star vertices are excluded:
+// their edges are inferred, not measured.
+func pairAsymmetric(g *topo.Graph, i int) bool {
+	var succCounts, predCounts []int
+	for _, v := range g.Hop(i) {
+		if g.V(v).Addr == topo.StarAddr {
+			continue
+		}
+		succCounts = append(succCounts, g.OutDegree(v))
+	}
+	for _, v := range g.Hop(i + 1) {
+		if g.V(v).Addr == topo.StarAddr {
+			continue
+		}
+		predCounts = append(predCounts, g.InDegree(v))
+	}
+	return differs(succCounts) || differs(predCounts)
+}
+
+func differs(xs []int) bool {
+	for i := 1; i < len(xs); i++ {
+		if xs[i] != xs[0] {
+			return true
+		}
+	}
+	return false
+}
+
+func allStars(s *mda.Session, h int) bool {
+	vs := s.G.Hop(h)
+	if len(vs) == 0 {
+		return false
+	}
+	for _, v := range vs {
+		if s.G.V(v).Addr != topo.StarAddr {
+			return false
+		}
+	}
+	return true
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,88 @@
+package probe
+
+import (
+	"mmlpt/internal/packet"
+)
+
+// Adaptive pacing (the paper's Sec 7 future-work item: "ICMP rate
+// limiting is one common cause of a lack of replies, and a simulator that
+// takes rate limiting into account could help in designing an algorithm
+// to probe in ways less likely to trigger rate limiting").
+//
+// AdaptiveProber wraps a Prober and, when replies stop coming back,
+// backs off before retrying: in simulation, backing off means advancing
+// the simulated clock so router token buckets refill; live, it would mean
+// sleeping. The wrapped algorithms are unchanged — they see a prober with
+// a better reply rate at the cost of (simulated) time.
+
+// Clock is the time source a pacing prober can push forward. The
+// Fakeroute network implements it: advancing the clock refills router
+// token buckets without sending packets.
+type Clock interface {
+	AdvanceClock(ticks uint64)
+}
+
+// AdaptiveProber paces probes around ICMP rate limiting.
+type AdaptiveProber struct {
+	Prober
+	// Clock advances simulated time during backoff (required).
+	Clock Clock
+	// BackoffBase is the initial backoff in ticks (default 16).
+	BackoffBase uint64
+	// MaxBackoffs bounds the escalation (default 4: up to 16·2⁴ ticks).
+	MaxBackoffs int
+	// Spacing is an unconditional gap inserted before every probe
+	// (default 0: adaptive only).
+	Spacing uint64
+
+	// Backoffs counts how many backoff pauses were taken.
+	Backoffs uint64
+}
+
+// NewAdaptiveProber wraps p with pacing over the given clock.
+func NewAdaptiveProber(p Prober, clock Clock) *AdaptiveProber {
+	return &AdaptiveProber{
+		Prober: p, Clock: clock,
+		BackoffBase: 16, MaxBackoffs: 4,
+	}
+}
+
+// Probe implements Prober with backoff-on-silence.
+func (a *AdaptiveProber) Probe(flowID uint16, ttl int) *packet.Reply {
+	if a.Spacing > 0 {
+		a.Clock.AdvanceClock(a.Spacing)
+	}
+	if r := a.Prober.Probe(flowID, ttl); r != nil {
+		return r
+	}
+	backoff := a.BackoffBase
+	for i := 0; i < a.MaxBackoffs; i++ {
+		a.Backoffs++
+		a.Clock.AdvanceClock(backoff)
+		if r := a.Prober.Probe(flowID, ttl); r != nil {
+			return r
+		}
+		backoff *= 2
+	}
+	return nil
+}
+
+// Echo implements Prober with the same pacing.
+func (a *AdaptiveProber) Echo(addr packet.Addr, seq uint16) *packet.Reply {
+	if a.Spacing > 0 {
+		a.Clock.AdvanceClock(a.Spacing)
+	}
+	if r := a.Prober.Echo(addr, seq); r != nil {
+		return r
+	}
+	backoff := a.BackoffBase
+	for i := 0; i < a.MaxBackoffs; i++ {
+		a.Backoffs++
+		a.Clock.AdvanceClock(backoff)
+		if r := a.Prober.Echo(addr, seq); r != nil {
+			return r
+		}
+		backoff *= 2
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package probe
+
+import (
+	"testing"
+
+	"mmlpt/internal/fakeroute"
+)
+
+// TestAdaptiveProberBeatsRateLimit: under an aggressive ICMP rate limit,
+// a plain prober loses most replies while the adaptive prober recovers
+// them by waiting out the token bucket in simulated time — the Sec 7
+// future-work scenario Fakeroute's rate limiting exists to support.
+func TestAdaptiveProberBeatsRateLimit(t *testing.T) {
+	mkNet := func() *fakeroute.Network {
+		net, path := fakeroute.BuildScenario(21, tSrc, tDst, fakeroute.SimplestDiamond)
+		r := net.RouterOf(path.Graph.V(path.Graph.Hop(0)[0]).Addr)
+		r.RateLimit = 2
+		r.RatePeriod = 100 // 2 replies per 100 ticks
+		return net
+	}
+
+	plain := NewSimProber(mkNet(), tSrc, tDst)
+	plain.Retries = 0
+	plainReplies := 0
+	for i := 0; i < 30; i++ {
+		if plain.Probe(uint16(i), 1) != nil {
+			plainReplies++
+		}
+	}
+
+	net := mkNet()
+	inner := NewSimProber(net, tSrc, tDst)
+	inner.Retries = 0
+	adaptive := NewAdaptiveProber(inner, net)
+	adaptiveReplies := 0
+	for i := 0; i < 30; i++ {
+		if adaptive.Probe(uint16(i), 1) != nil {
+			adaptiveReplies++
+		}
+	}
+
+	if plainReplies >= 10 {
+		t.Fatalf("plain prober got %d/30 replies; rate limit too weak for the test", plainReplies)
+	}
+	if adaptiveReplies < 25 {
+		t.Fatalf("adaptive prober got only %d/30 replies", adaptiveReplies)
+	}
+	if adaptive.Backoffs == 0 {
+		t.Fatal("adaptive prober never backed off")
+	}
+}
+
+func TestAdaptiveProberSpacing(t *testing.T) {
+	net, path := fakeroute.BuildScenario(22, tSrc, tDst, fakeroute.SimplestDiamond)
+	r := net.RouterOf(path.Graph.V(path.Graph.Hop(0)[0]).Addr)
+	r.RateLimit = 1
+	r.RatePeriod = 10 // 1 reply per 10 ticks
+	inner := NewSimProber(net, tSrc, tDst)
+	inner.Retries = 0
+	a := NewAdaptiveProber(inner, net)
+	a.Spacing = 12 // proactive pacing above the refill interval
+	a.MaxBackoffs = 0
+	replies := 0
+	for i := 0; i < 20; i++ {
+		if a.Probe(uint16(i), 1) != nil {
+			replies++
+		}
+	}
+	if replies < 19 {
+		t.Fatalf("spaced probing got %d/20 replies, want nearly all", replies)
+	}
+}

@@ -1,0 +1,184 @@
+//go:build linux
+
+package probe
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+	"time"
+
+	"mmlpt/internal/packet"
+)
+
+// LiveProber sends real probes over Linux raw sockets. It requires
+// CAP_NET_RAW (typically root). It implements the same Prober interface
+// as the simulator-backed prober, so every algorithm in this repository
+// can run unmodified against the live Internet.
+//
+// The implementation is stdlib-only (syscall): one IPPROTO_RAW socket with
+// IP_HDRINCL for sending fully crafted probes, and one IPPROTO_ICMP raw
+// socket for receiving replies. Reply matching uses the Paris probe
+// identity quoted inside ICMP errors and the echo identifier for direct
+// probes. This transport is exercised end-to-end against Fakeroute's wire
+// format in tests; live operation additionally depends on kernel and
+// network policy (rp_filter, firewalls) outside this package's control.
+type LiveProber struct {
+	Src, Dst_ packet.Addr
+	// Timeout bounds the wait for each reply (default 2s).
+	Timeout time.Duration
+	// Retries re-sends on timeout (default 2).
+	Retries int
+
+	sendFD, recvFD int
+	serial         uint16
+	traceSent      uint64
+	echoSent       uint64
+}
+
+// NewLiveProber opens the raw sockets. The caller must Close the prober.
+func NewLiveProber(src, dst packet.Addr) (*LiveProber, error) {
+	send, err := syscall.Socket(syscall.AF_INET, syscall.SOCK_RAW, syscall.IPPROTO_RAW)
+	if err != nil {
+		return nil, fmt.Errorf("probe: raw send socket: %w (need CAP_NET_RAW)", err)
+	}
+	if err := syscall.SetsockoptInt(send, syscall.IPPROTO_IP, syscall.IP_HDRINCL, 1); err != nil {
+		syscall.Close(send)
+		return nil, fmt.Errorf("probe: IP_HDRINCL: %w", err)
+	}
+	recv, err := syscall.Socket(syscall.AF_INET, syscall.SOCK_RAW, syscall.IPPROTO_ICMP)
+	if err != nil {
+		syscall.Close(send)
+		return nil, fmt.Errorf("probe: raw recv socket: %w", err)
+	}
+	return &LiveProber{
+		Src: src, Dst_: dst,
+		Timeout: 2 * time.Second, Retries: 2,
+		sendFD: send, recvFD: recv,
+	}, nil
+}
+
+// Close releases the sockets.
+func (p *LiveProber) Close() error {
+	e1 := syscall.Close(p.sendFD)
+	e2 := syscall.Close(p.recvFD)
+	if e1 != nil {
+		return e1
+	}
+	return e2
+}
+
+// Dst implements Prober.
+func (p *LiveProber) Dst() packet.Addr { return p.Dst_ }
+
+// Sent implements Prober.
+func (p *LiveProber) Sent() (uint64, uint64) { return p.traceSent, p.echoSent }
+
+func (p *LiveProber) nextSerial() uint16 {
+	p.serial++
+	if p.serial == 0 {
+		p.serial = 1
+	}
+	return p.serial
+}
+
+func sockaddr(a packet.Addr) *syscall.SockaddrInet4 {
+	return &syscall.SockaddrInet4{
+		Addr: [4]byte{byte(a >> 24), byte(a >> 16), byte(a >> 8), byte(a)},
+	}
+}
+
+func (p *LiveProber) setRecvDeadline(d time.Duration) error {
+	tv := syscall.NsecToTimeval(d.Nanoseconds())
+	return syscall.SetsockoptTimeval(p.recvFD, syscall.SOL_SOCKET, syscall.SO_RCVTIMEO, &tv)
+}
+
+// awaitReply reads ICMP messages until match accepts one or the deadline
+// passes.
+func (p *LiveProber) awaitReply(deadline time.Time, match func(*packet.Reply) bool) *packet.Reply {
+	buf := make([]byte, 1500)
+	for {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return nil
+		}
+		if err := p.setRecvDeadline(remain); err != nil {
+			return nil
+		}
+		n, _, err := syscall.Recvfrom(p.recvFD, buf, 0)
+		if err != nil {
+			if err == syscall.EAGAIN || err == syscall.EWOULDBLOCK || err == syscall.EINTR {
+				if time.Now().After(deadline) {
+					return nil
+				}
+				continue
+			}
+			return nil
+		}
+		reply, perr := packet.ParseReply(buf[:n])
+		if perr != nil {
+			continue
+		}
+		if match(reply) {
+			return reply
+		}
+	}
+}
+
+// Probe implements Prober.
+func (p *LiveProber) Probe(flowID uint16, ttl int) *packet.Reply {
+	if flowID > packet.MaxFlowID {
+		panic("probe: flow ID out of range")
+	}
+	attempts := p.Retries + 1
+	for a := 0; a < attempts; a++ {
+		identity := p.nextSerial()
+		pr := packet.Probe{
+			Src: p.Src, Dst: p.Dst_,
+			FlowID: flowID, TTL: byte(ttl), Checksum: identity,
+		}
+		p.traceSent++
+		if err := syscall.Sendto(p.sendFD, pr.Serialize(), 0, sockaddr(p.Dst_)); err != nil {
+			fmt.Fprintf(os.Stderr, "probe: sendto: %v\n", err)
+			continue
+		}
+		reply := p.awaitReply(time.Now().Add(p.Timeout), func(r *packet.Reply) bool {
+			if r.IsEchoReply() {
+				return false
+			}
+			// Match on the quoted identity when present, else on the
+			// quoted destination (some routers truncate quotes).
+			if r.ProbeIdentity != 0 {
+				return r.ProbeIdentity == identity
+			}
+			return r.ProbeDst == p.Dst_
+		})
+		if reply != nil {
+			return reply
+		}
+	}
+	return nil
+}
+
+// Echo implements Prober.
+func (p *LiveProber) Echo(addr packet.Addr, seq uint16) *packet.Reply {
+	attempts := p.Retries + 1
+	const echoID = 0x4d4c
+	for a := 0; a < attempts; a++ {
+		ep := packet.EchoProbe{
+			Src: p.Src, Dst: addr,
+			ID: echoID, Seq: seq, IPID: seq,
+		}
+		p.echoSent++
+		if err := syscall.Sendto(p.sendFD, ep.Serialize(), 0, sockaddr(addr)); err != nil {
+			continue
+		}
+		reply := p.awaitReply(time.Now().Add(p.Timeout), func(r *packet.Reply) bool {
+			return r.IsEchoReply() && r.From == addr && r.EchoID == echoID && r.EchoSeq == seq
+		})
+		if reply != nil {
+			return reply
+		}
+	}
+	return nil
+}

@@ -1,0 +1,156 @@
+// Package probe defines the boundary between the multipath detection
+// algorithms and the network: a Prober sends one traceroute probe (flow
+// identifier + TTL) or one direct echo probe and returns the parsed reply.
+//
+// The algorithms never see raw sockets or the simulator; they are written
+// against this interface, so the same MDA / MDA-Lite / alias-resolution
+// code runs over Fakeroute (validated, deterministic) and over a live
+// raw-socket transport where one is available.
+package probe
+
+import (
+	"mmlpt/internal/fakeroute"
+	"mmlpt/internal/packet"
+)
+
+// Prober sends probes toward one destination.
+type Prober interface {
+	// Probe sends a Paris traceroute probe with the given flow identifier
+	// and TTL toward the prober's destination. It returns the parsed
+	// reply, or nil if no reply arrived (loss, rate limiting, or a
+	// non-responsive hop).
+	Probe(flowID uint16, ttl int) *packet.Reply
+
+	// Echo sends a direct (ping-style) probe to addr, returning the parsed
+	// reply or nil.
+	Echo(addr packet.Addr, seq uint16) *packet.Reply
+
+	// Sent returns the number of traceroute probes and echo probes sent so
+	// far. The paper's packet counts are Sent totals.
+	Sent() (trace, echo uint64)
+
+	// Dst returns the destination address being traced.
+	Dst() packet.Addr
+}
+
+// SimProber drives a fakeroute.Network. It is synchronous: a probe's reply
+// (if any) is returned immediately, which matches the simulator's
+// deterministic semantics and keeps algorithm code free of timeouts.
+type SimProber struct {
+	Net       *fakeroute.Network
+	Src, Dst_ packet.Addr
+
+	serial    uint16
+	traceSent uint64
+	echoSent  uint64
+
+	// Retries is how many times Probe re-sends on no-reply before giving
+	// up (models the usual 2-3 attempts per hop of traceroute tools).
+	// Each attempt counts as a sent packet. Zero means a single attempt.
+	Retries int
+}
+
+// NewSimProber returns a prober tracing src→dst over n.
+func NewSimProber(n *fakeroute.Network, src, dst packet.Addr) *SimProber {
+	return &SimProber{Net: n, Src: src, Dst_: dst, Retries: 2}
+}
+
+// Dst implements Prober.
+func (p *SimProber) Dst() packet.Addr { return p.Dst_ }
+
+// Sent implements Prober.
+func (p *SimProber) Sent() (uint64, uint64) { return p.traceSent, p.echoSent }
+
+// nextSerial returns a non-zero probe identity.
+func (p *SimProber) nextSerial() uint16 {
+	p.serial++
+	if p.serial == 0 {
+		p.serial = 1
+	}
+	return p.serial
+}
+
+// Probe implements Prober.
+func (p *SimProber) Probe(flowID uint16, ttl int) *packet.Reply {
+	if flowID > packet.MaxFlowID {
+		panic("probe: flow ID out of range")
+	}
+	attempts := p.Retries + 1
+	for a := 0; a < attempts; a++ {
+		pr := packet.Probe{
+			Src: p.Src, Dst: p.Dst_,
+			FlowID: flowID, TTL: byte(ttl), Checksum: p.nextSerial(),
+		}
+		p.traceSent++
+		raw := p.Net.HandleProbe(pr.Serialize())
+		if raw == nil {
+			continue
+		}
+		reply, err := packet.ParseReply(raw)
+		if err != nil {
+			continue
+		}
+		return reply
+	}
+	return nil
+}
+
+// Echo implements Prober.
+func (p *SimProber) Echo(addr packet.Addr, seq uint16) *packet.Reply {
+	attempts := p.Retries + 1
+	for a := 0; a < attempts; a++ {
+		// The probe's IP ID is set to seq so callers can detect routers
+		// that copy the probe ID into the reply (a MIDAR "unable" cause).
+		ep := packet.EchoProbe{
+			Src: p.Src, Dst: addr,
+			ID: 0x4d4c, Seq: seq, IPID: seq,
+		}
+		p.echoSent++
+		raw := p.Net.HandleProbe(ep.Serialize())
+		if raw == nil {
+			continue
+		}
+		reply, err := packet.ParseReply(raw)
+		if err != nil {
+			continue
+		}
+		return reply
+	}
+	return nil
+}
+
+// Recorder wraps a Prober and notifies a callback after every probe, with
+// cumulative sent counts: the hook the discovery-progress curves (Fig 3)
+// are built on.
+type Recorder struct {
+	Prober
+	// OnProbe is called after each traceroute or echo probe completes,
+	// with the total packets sent so far and the reply (nil if none).
+	OnProbe func(totalSent uint64, reply *packet.Reply)
+}
+
+// Probe implements Prober.
+func (r *Recorder) Probe(flowID uint16, ttl int) *packet.Reply {
+	reply := r.Prober.Probe(flowID, ttl)
+	if r.OnProbe != nil {
+		t, e := r.Prober.Sent()
+		r.OnProbe(t+e, reply)
+	}
+	return reply
+}
+
+// Echo implements Prober.
+func (r *Recorder) Echo(addr packet.Addr, seq uint16) *packet.Reply {
+	reply := r.Prober.Echo(addr, seq)
+	if r.OnProbe != nil {
+		t, e := r.Prober.Sent()
+		r.OnProbe(t+e, reply)
+	}
+	return reply
+}
+
+// TotalSent sums trace and echo probes for a Prober.
+func TotalSent(p Prober) uint64 {
+	t, e := p.Sent()
+	return t + e
+}

@@ -1,0 +1,256 @@
+package survey
+
+import (
+	"mmlpt/internal/alias"
+	"mmlpt/internal/core"
+	"mmlpt/internal/fakeroute"
+	"mmlpt/internal/mda"
+	"mmlpt/internal/mdalite"
+	"mmlpt/internal/packet"
+	"mmlpt/internal/probe"
+	"mmlpt/internal/topo"
+)
+
+// Algo selects the tracing algorithm for a survey run.
+type Algo int
+
+const (
+	AlgoMDA Algo = iota
+	AlgoMDALite
+	AlgoSingleFlow
+	AlgoMultilevel
+)
+
+// String names the algorithm.
+func (a Algo) String() string {
+	switch a {
+	case AlgoMDA:
+		return "mda"
+	case AlgoMDALite:
+		return "mda-lite"
+	case AlgoSingleFlow:
+		return "single-flow"
+	case AlgoMultilevel:
+		return "multilevel"
+	default:
+		return "unknown"
+	}
+}
+
+// DiamondRecord captures one measured diamond and its survey metrics.
+type DiamondRecord struct {
+	Key         topo.DiamondKey
+	PairIndex   int
+	Metrics     topo.Metrics
+	MaxProbDiff float64
+	// MeshMissProbs holds, for each meshed hop pair of the diamond, the
+	// Eq. (1) probability that the MDA-Lite with the surveyed phi misses
+	// the meshing (Fig 2's sample values).
+	MeshMissProbs []float64
+}
+
+// TraceOutcome is the result of tracing one pair.
+type TraceOutcome struct {
+	PairIndex int
+	Pair      Pair
+	Probes    uint64
+	Reached   bool
+	Switched  bool
+	Graph     *topo.Graph
+	Diamonds  []DiamondRecord
+	// ML is set for multilevel runs.
+	ML *core.Result
+}
+
+// Result aggregates a survey run.
+type Result struct {
+	Algo     Algo
+	Outcomes []TraceOutcome
+	// Measured lists every diamond encounter; Distinct keeps the first
+	// encounter per (divergence, convergence) key.
+	Measured []DiamondRecord
+	Distinct map[topo.DiamondKey]DiamondRecord
+	// LBTraces counts traces that found at least one diamond.
+	LBTraces int
+	// TotalProbes across all traces.
+	TotalProbes uint64
+}
+
+// RunConfig controls a survey run.
+type RunConfig struct {
+	Algo Algo
+	// Trace is the base trace configuration (stopping points etc.).
+	Trace mda.Config
+	// Phi is the MDA-Lite meshing budget.
+	Phi int
+	// MaxPairs truncates the pair list (0 = all).
+	MaxPairs int
+	// OnlyLB restricts to pairs whose ground truth has a load balancer.
+	OnlyLB bool
+	// Multilevel rounds/probes (multilevel runs only).
+	Rounds, ProbesPerRound int
+	// Retries per probe (0 = prober default).
+	Retries int
+}
+
+// Run traces every pair of the universe and collects the survey records.
+func Run(u *Universe, cfg RunConfig) *Result {
+	if cfg.Phi == 0 {
+		cfg.Phi = mdalite.DefaultPhi
+	}
+	res := &Result{Algo: cfg.Algo, Distinct: make(map[topo.DiamondKey]DiamondRecord)}
+	count := 0
+	for i, pair := range u.Pairs {
+		if cfg.OnlyLB && !pair.HasLB {
+			continue
+		}
+		if cfg.MaxPairs > 0 && count >= cfg.MaxPairs {
+			break
+		}
+		count++
+		out := traceOne(u, i, pair, cfg)
+		res.TotalProbes += out.Probes
+		if len(out.Diamonds) > 0 {
+			res.LBTraces++
+		}
+		for _, d := range out.Diamonds {
+			res.Measured = append(res.Measured, d)
+			if _, ok := res.Distinct[d.Key]; !ok {
+				res.Distinct[d.Key] = d
+			}
+		}
+		res.Outcomes = append(res.Outcomes, out)
+	}
+	return res
+}
+
+func traceOne(u *Universe, idx int, pair Pair, cfg RunConfig) TraceOutcome {
+	p := probe.NewSimProber(u.Net, pair.Src, pair.Dst)
+	if cfg.Retries > 0 {
+		p.Retries = cfg.Retries
+	}
+	tc := cfg.Trace
+	tc.Seed = cfg.Trace.Seed ^ uint64(idx)*0x9e3779b97f4a7c15
+
+	var (
+		r  *mda.Result
+		ml *core.Result
+	)
+	switch cfg.Algo {
+	case AlgoMDA:
+		r = mda.Trace(p, tc)
+	case AlgoMDALite:
+		r = mdalite.Trace(p, tc, cfg.Phi)
+	case AlgoSingleFlow:
+		r = mda.TraceSingleFlow(p, tc)
+	case AlgoMultilevel:
+		ml = core.Trace(p, core.Options{
+			Trace: tc, Phi: cfg.Phi,
+			Rounds: cfg.Rounds, ProbesPerRound: cfg.ProbesPerRound,
+		})
+		r = ml.IP
+	}
+	out := TraceOutcome{
+		PairIndex: idx, Pair: pair,
+		Probes:  probe.TotalSent(p),
+		Reached: r.ReachedDst, Switched: r.SwitchedToMDA,
+		Graph: r.Graph, ML: ml,
+	}
+	for _, d := range r.Graph.Diamonds() {
+		out.Diamonds = append(out.Diamonds, recordDiamond(d, idx, cfg.Phi))
+	}
+	return out
+}
+
+// recordDiamond evaluates the survey metrics for one diamond.
+func recordDiamond(d *topo.Diamond, pairIdx, phi int) DiamondRecord {
+	rec := DiamondRecord{
+		Key:         d.Key(),
+		PairIndex:   pairIdx,
+		Metrics:     d.ComputeMetrics(),
+		MaxProbDiff: d.MaxProbabilityDifference(),
+	}
+	g := d.Graph()
+	for _, h := range d.MeshedHopPairs() {
+		rec.MeshMissProbs = append(rec.MeshMissProbs, meshMissProb(g, h, phi))
+	}
+	return rec
+}
+
+// meshMissProb computes Eq. (1) for the meshed hop pair (h, h+1), tracing
+// from the wider hop as the MDA-Lite does.
+func meshMissProb(g *topo.Graph, h, phi int) float64 {
+	wi, wj := g.Width(h), g.Width(h+1)
+	var degrees []int
+	if wi >= wj {
+		for _, v := range g.Hop(h) {
+			degrees = append(degrees, g.OutDegree(v))
+		}
+	} else {
+		for _, v := range g.Hop(h + 1) {
+			degrees = append(degrees, g.InDegree(v))
+		}
+	}
+	return fakeroute.MeshingMissProb(degrees, phi)
+}
+
+// RouterRecord captures the router-level view of one trace (Sec 5.2).
+type RouterRecord struct {
+	PairIndex int
+	// Sets are the accepted multi-address alias sets (routers).
+	Sets []alias.Set
+	// Effects classifies each IP diamond per Table 3.
+	Effects []core.DiamondEffect
+	// WidthBefore and WidthAfter give, per IP diamond, the max width at
+	// the IP level and at the router level (Figs 13/14).
+	WidthBefore, WidthAfter []int
+	// RouterDiamonds holds max widths of diamonds in the router graph.
+	RouterDiamonds []int
+}
+
+// RouterView extracts the router-level records from a multilevel survey
+// result.
+func RouterView(res *Result) []RouterRecord {
+	var out []RouterRecord
+	for _, o := range res.Outcomes {
+		if o.ML == nil {
+			continue
+		}
+		rr := RouterRecord{PairIndex: o.PairIndex, Sets: alias.RouterSets(o.ML.Sets)}
+		router := o.ML.RouterGraph
+		for _, d := range o.Graph.Diamonds() {
+			rr.Effects = append(rr.Effects, core.ClassifyDiamond(d, router))
+			rr.WidthBefore = append(rr.WidthBefore, d.MaxWidth())
+			rr.WidthAfter = append(rr.WidthAfter, routerSpanMaxWidth(router, d))
+		}
+		for _, rd := range router.Diamonds() {
+			rr.RouterDiamonds = append(rr.RouterDiamonds, rd.MaxWidth())
+		}
+		out = append(out, rr)
+	}
+	return out
+}
+
+// routerSpanMaxWidth is the max hop width of the router graph within the
+// IP diamond's hop span.
+func routerSpanMaxWidth(router *topo.Graph, d *topo.Diamond) int {
+	w := 1
+	for h := d.DivHop; h <= d.ConvHop; h++ {
+		if n := router.Width(h); n > w {
+			w = n
+		}
+	}
+	return w
+}
+
+// AllRouterSets collects every per-trace accepted set's addresses, for
+// transitive-closure aggregation (Fig 12 right).
+func AllRouterSets(records []RouterRecord) [][]packet.Addr {
+	var out [][]packet.Addr
+	for _, r := range records {
+		for _, s := range r.Sets {
+			out = append(out, s.Addrs)
+		}
+	}
+	return out
+}

@@ -1,0 +1,381 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mmlpt/internal/packet"
+)
+
+// a returns a test address.
+func a(n int) packet.Addr { return packet.Addr(0x0a000000 + uint32(n)) }
+
+// buildFig6Left builds the left-hand diamond of Fig 6: max length 4, max
+// width 5, max width asymmetry 1.
+//
+//	hop0: d
+//	hop1: 5 vertices (one with 2 successors at hop2, others 1 -> asym 1)
+//	hop2: depends; we mirror the figure's spirit: 1-5-5-2-1 hops.
+func buildFig6Left() *Graph {
+	g := New()
+	d := g.AddVertex(0, a(1))
+	var h1 []VertexID
+	for i := 0; i < 5; i++ {
+		v := g.AddVertex(1, a(10+i))
+		g.AddEdge(d, v)
+		h1 = append(h1, v)
+	}
+	// hop2: 5 vertices; vertex h1[0] gets 2 successors, others 1 each and
+	// one hop2 vertex shared... to keep widths 5-5 and asymmetry 1 we give
+	// h1[0] two successors and h1[4] zero-successor sibling merge.
+	var h2 []VertexID
+	for i := 0; i < 5; i++ {
+		h2 = append(h2, g.AddVertex(2, a(20+i)))
+	}
+	g.AddEdge(h1[0], h2[0])
+	g.AddEdge(h1[0], h2[1])
+	g.AddEdge(h1[1], h2[2])
+	g.AddEdge(h1[2], h2[3])
+	g.AddEdge(h1[3], h2[4])
+	g.AddEdge(h1[4], h2[4])
+	// hop3: 2 vertices.
+	x := g.AddVertex(3, a(30))
+	y := g.AddVertex(3, a(31))
+	g.AddEdge(h2[0], x)
+	g.AddEdge(h2[1], x)
+	g.AddEdge(h2[2], x)
+	g.AddEdge(h2[3], y)
+	g.AddEdge(h2[4], y)
+	// hop4: convergence.
+	c := g.AddVertex(4, a(40))
+	g.AddEdge(x, c)
+	g.AddEdge(y, c)
+	return g
+}
+
+func TestDiamondExtractionAndMetrics(t *testing.T) {
+	g := buildFig6Left()
+	ds := g.Diamonds()
+	if len(ds) != 1 {
+		t.Fatalf("diamonds = %d, want 1", len(ds))
+	}
+	d := ds[0]
+	if d.DivHop != 0 || d.ConvHop != 4 {
+		t.Fatalf("span %d..%d", d.DivHop, d.ConvHop)
+	}
+	m := d.ComputeMetrics()
+	if m.MaxLength != 4 {
+		t.Errorf("max length %d, want 4", m.MaxLength)
+	}
+	if m.MaxWidth != 5 {
+		t.Errorf("max width %d, want 5", m.MaxWidth)
+	}
+	if m.MaxWidthAsymmetry != 1 {
+		t.Errorf("max width asymmetry %d, want 1", m.MaxWidthAsymmetry)
+	}
+	if m.Uniform {
+		t.Error("diamond with asymmetry 1 reported uniform")
+	}
+}
+
+// buildMeshedRatio04 builds a diamond with 5 hop pairs of which 2 are
+// meshed (the right-hand Fig 6 diamond's ratio of 0.4).
+func buildMeshedRatio04() *Graph {
+	g := New()
+	d := g.AddVertex(0, a(1))
+	// hop1: 2 vertices.
+	u1, u2 := g.AddVertex(1, a(11)), g.AddVertex(1, a(12))
+	g.AddEdge(d, u1)
+	g.AddEdge(d, u2)
+	// hop2: 2 vertices, fully meshed with hop1 (pair 1-2 meshed).
+	v1, v2 := g.AddVertex(2, a(21)), g.AddVertex(2, a(22))
+	g.AddEdge(u1, v1)
+	g.AddEdge(u1, v2)
+	g.AddEdge(u2, v1)
+	g.AddEdge(u2, v2)
+	// hop3: 2 vertices, one-to-one (unmeshed).
+	w1, w2 := g.AddVertex(3, a(31)), g.AddVertex(3, a(32))
+	g.AddEdge(v1, w1)
+	g.AddEdge(v2, w2)
+	// hop4: 2 vertices, fully meshed with hop3 (pair 4-5 meshed).
+	x1, x2 := g.AddVertex(4, a(41)), g.AddVertex(4, a(42))
+	g.AddEdge(w1, x1)
+	g.AddEdge(w1, x2)
+	g.AddEdge(w2, x1)
+	g.AddEdge(w2, x2)
+	// hop5: convergence.
+	c := g.AddVertex(5, a(51))
+	g.AddEdge(x1, c)
+	g.AddEdge(x2, c)
+	return g
+}
+
+func TestRatioMeshedHops(t *testing.T) {
+	g := buildMeshedRatio04()
+	ds := g.Diamonds()
+	if len(ds) != 1 {
+		t.Fatalf("diamonds = %d", len(ds))
+	}
+	d := ds[0]
+	if !d.Meshed() {
+		t.Fatal("diamond not meshed")
+	}
+	if got := d.RatioMeshedHops(); got != 0.4 {
+		t.Fatalf("ratio of meshed hops = %.2f, want 0.4 (meshed pairs %v of %d)",
+			got, d.MeshedHopPairs(), d.HopPairs())
+	}
+}
+
+func TestMeshingThreeCases(t *testing.T) {
+	// Case 1: equal widths, out-degree 2 somewhere -> meshed.
+	g1 := New()
+	d := g1.AddVertex(0, a(1))
+	u1, u2 := g1.AddVertex(1, a(2)), g1.AddVertex(1, a(3))
+	g1.AddEdge(d, u1)
+	g1.AddEdge(d, u2)
+	v1, v2 := g1.AddVertex(2, a(4)), g1.AddVertex(2, a(5))
+	g1.AddEdge(u1, v1)
+	g1.AddEdge(u1, v2)
+	g1.AddEdge(u2, v1)
+	if !g1.PairMeshed(1) {
+		t.Error("case 1 (equal widths, out-degree 2) not meshed")
+	}
+	// Case 2: widening with an in-degree 2 -> meshed.
+	g2 := New()
+	d2 := g2.AddVertex(0, a(1))
+	w1 := g2.AddVertex(1, a(2))
+	g2.AddEdge(d2, w1)
+	x1, x2 := g2.AddVertex(2, a(3)), g2.AddVertex(2, a(4))
+	g2.AddEdge(w1, x1)
+	g2.AddEdge(w1, x2)
+	// widen 2 -> 3 with one shared target
+	y1, y2, y3 := g2.AddVertex(3, a(5)), g2.AddVertex(3, a(6)), g2.AddVertex(3, a(7))
+	g2.AddEdge(x1, y1)
+	g2.AddEdge(x1, y2)
+	g2.AddEdge(x2, y2)
+	g2.AddEdge(x2, y3)
+	if !g2.PairMeshed(2) {
+		t.Error("case 2 (widening, in-degree 2) not meshed")
+	}
+	// Case 3: narrowing with out-degree 1 everywhere -> NOT meshed.
+	g3 := New()
+	d3 := g3.AddVertex(0, a(1))
+	p1, p2, p3, p4 := g3.AddVertex(1, a(2)), g3.AddVertex(1, a(3)), g3.AddVertex(1, a(4)), g3.AddVertex(1, a(5))
+	for _, p := range []VertexID{p1, p2, p3, p4} {
+		g3.AddEdge(d3, p)
+	}
+	q1, q2 := g3.AddVertex(2, a(6)), g3.AddVertex(2, a(7))
+	g3.AddEdge(p1, q1)
+	g3.AddEdge(p2, q1)
+	g3.AddEdge(p3, q2)
+	g3.AddEdge(p4, q2)
+	if g3.PairMeshed(1) {
+		t.Error("case 3 (pure narrowing) wrongly meshed")
+	}
+	// Case 3b: narrowing with one out-degree 2 -> meshed.
+	g3.AddEdge(p1, q2)
+	if !g3.PairMeshed(1) {
+		t.Error("case 3b (narrowing with out-degree 2) not meshed")
+	}
+}
+
+func TestReachProbabilitiesUniformDiamond(t *testing.T) {
+	g := New()
+	d := g.AddVertex(0, a(1))
+	var mid []VertexID
+	for i := 0; i < 4; i++ {
+		v := g.AddVertex(1, a(10+i))
+		g.AddEdge(d, v)
+		mid = append(mid, v)
+	}
+	c := g.AddVertex(2, a(20))
+	for _, v := range mid {
+		g.AddEdge(v, c)
+	}
+	dm := g.Diamonds()[0]
+	probs := dm.ReachProbabilities()
+	for _, v := range mid {
+		if p := probs[v]; p < 0.2499 || p > 0.2501 {
+			t.Fatalf("mid vertex prob %.4f, want 0.25", p)
+		}
+	}
+	if p := probs[c]; p < 0.9999 || p > 1.0001 {
+		t.Fatalf("convergence prob %.4f, want 1", p)
+	}
+	if dm.MaxProbabilityDifference() != 0 {
+		t.Fatal("uniform diamond has nonzero probability difference")
+	}
+}
+
+func TestReachProbabilitiesAsymmetric(t *testing.T) {
+	g := New()
+	d := g.AddVertex(0, a(1))
+	u1, u2 := g.AddVertex(1, a(2)), g.AddVertex(1, a(3))
+	g.AddEdge(d, u1)
+	g.AddEdge(d, u2)
+	// u1 fans to 3, u2 to 1: hop2 probabilities 1/6,1/6,1/6,1/2.
+	var h2 []VertexID
+	for i := 0; i < 3; i++ {
+		v := g.AddVertex(2, a(10+i))
+		g.AddEdge(u1, v)
+		h2 = append(h2, v)
+	}
+	w := g.AddVertex(2, a(13))
+	g.AddEdge(u2, w)
+	c := g.AddVertex(3, a(20))
+	for _, v := range append(h2, w) {
+		g.AddEdge(v, c)
+	}
+	dm := g.Diamonds()[0]
+	diff := dm.MaxProbabilityDifference()
+	want := 0.5 - 1.0/6
+	if diff < want-1e-9 || diff > want+1e-9 {
+		t.Fatalf("max probability difference %.4f, want %.4f", diff, want)
+	}
+	if dm.MaxWidthAsymmetry() != 2 {
+		t.Fatalf("asymmetry %d, want 2", dm.MaxWidthAsymmetry())
+	}
+}
+
+// TestReachProbabilitySumInvariant: for any spread/converge layer
+// construction, each hop's probabilities sum to 1 (probability mass is
+// conserved through load balancing).
+func TestReachProbabilitySumInvariant(t *testing.T) {
+	f := func(widths []uint8) bool {
+		g := New()
+		prev := []VertexID{g.AddVertex(0, a(1))}
+		next := 100
+		for h, wRaw := range widths {
+			w := int(wRaw)%5 + 1
+			var layer []VertexID
+			for i := 0; i < w; i++ {
+				layer = append(layer, g.AddVertex(h+1, a(next)))
+				next++
+			}
+			// Connect: each prev vertex to a contiguous block (always at
+			// least one edge each; every layer vertex gets a predecessor).
+			for i, u := range prev {
+				g.AddEdge(u, layer[i*w/len(prev)])
+			}
+			for j, v := range layer {
+				g.AddEdge(prev[j*len(prev)/w], v)
+			}
+			prev = layer
+		}
+		c := g.AddVertex(len(widths)+1, a(99))
+		for _, u := range prev {
+			g.AddEdge(u, c)
+		}
+		if len(widths) == 0 {
+			return true
+		}
+		ds := g.Diamonds()
+		if len(ds) == 0 {
+			return true
+		}
+		probs := ds[0].ReachProbabilities()
+		for h := ds[0].DivHop; h <= ds[0].ConvHop; h++ {
+			var sum float64
+			for _, v := range g.Hop(h) {
+				sum += probs[v]
+			}
+			if sum < 0.999 || sum > 1.001 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEqualAndCoverage(t *testing.T) {
+	g1 := buildFig6Left()
+	g2 := buildFig6Left()
+	if !Equal(g1, g2) {
+		t.Fatal("identical constructions not Equal")
+	}
+	v, e := SubgraphCoverage(g1, g2)
+	if v != 1 || e != 1 {
+		t.Fatalf("self coverage %v %v", v, e)
+	}
+	// Remove knowledge: a graph missing a vertex covers less.
+	g3 := New()
+	g3.AddVertex(0, a(1))
+	v, e = SubgraphCoverage(g3, g1)
+	if v >= 1 || e >= 1 {
+		t.Fatalf("partial coverage %v %v", v, e)
+	}
+	if Equal(g3, g1) {
+		t.Fatal("different graphs Equal")
+	}
+}
+
+func TestStarsAreDistinctVertices(t *testing.T) {
+	g := New()
+	s1 := g.AddVertex(0, StarAddr)
+	s2 := g.AddVertex(0, StarAddr)
+	if s1 == s2 {
+		t.Fatal("stars merged")
+	}
+	if g.Lookup(StarAddr) != None {
+		t.Fatal("stars must not be indexed by address")
+	}
+}
+
+func TestAddVertexDedupsPerHop(t *testing.T) {
+	g := New()
+	v1 := g.AddVertex(2, a(5))
+	v2 := g.AddVertex(2, a(5))
+	if v1 != v2 {
+		t.Fatal("same addr same hop not deduplicated")
+	}
+	v3 := g.AddVertex(3, a(5))
+	if v3 == v1 {
+		t.Fatal("same addr different hop wrongly merged")
+	}
+}
+
+func TestDiamondKeyDistinguishesStars(t *testing.T) {
+	g := buildFig6Left()
+	d := g.Diamonds()[0]
+	k := d.Key()
+	if k.Div != a(1) || k.Conv != a(40) {
+		t.Fatalf("key %+v", k)
+	}
+	star := DiamondKey{Div: StarAddr, Conv: a(40)}
+	if k == star {
+		t.Fatal("star key equals responsive key")
+	}
+}
+
+func TestDiamondsMultipleInOneTrace(t *testing.T) {
+	g := New()
+	v := g.AddVertex(0, a(1))
+	u1, u2 := g.AddVertex(1, a(2)), g.AddVertex(1, a(3))
+	g.AddEdge(v, u1)
+	g.AddEdge(v, u2)
+	m := g.AddVertex(2, a(4))
+	g.AddEdge(u1, m)
+	g.AddEdge(u2, m)
+	// chain hop
+	c := g.AddVertex(3, a(5))
+	g.AddEdge(m, c)
+	// second diamond
+	w1, w2, w3 := g.AddVertex(4, a(6)), g.AddVertex(4, a(7)), g.AddVertex(4, a(8))
+	g.AddEdge(c, w1)
+	g.AddEdge(c, w2)
+	g.AddEdge(c, w3)
+	end := g.AddVertex(5, a(9))
+	for _, w := range []VertexID{w1, w2, w3} {
+		g.AddEdge(w, end)
+	}
+	ds := g.Diamonds()
+	if len(ds) != 2 {
+		t.Fatalf("found %d diamonds, want 2:\n%s", len(ds), g)
+	}
+	if ds[0].MaxWidth() != 2 || ds[1].MaxWidth() != 3 {
+		t.Fatalf("widths %d %d", ds[0].MaxWidth(), ds[1].MaxWidth())
+	}
+}
