@@ -7,6 +7,7 @@ package mmlpt
 // cmd/paperfig -scale); the shape assertions live in the test suites.
 
 import (
+	"runtime"
 	"testing"
 
 	"mmlpt/internal/experiments"
@@ -296,6 +297,31 @@ func BenchmarkReplyParse(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkSurveySerial and BenchmarkSurveyParallel contrast the
+// worker-pool survey runner at Workers=1 against all cores on one shared
+// universe. The runner aggregates in pair order, so both configurations
+// produce identical results; only the wall clock differs (expect the
+// parallel variant to approach a core-count speedup on multi-core
+// hardware, as the per-pair traces share no mutable state).
+func BenchmarkSurveySerial(b *testing.B)   { benchSurveyWorkers(b, 1) }
+func BenchmarkSurveyParallel(b *testing.B) { benchSurveyWorkers(b, runtime.GOMAXPROCS(0)) }
+
+func benchSurveyWorkers(b *testing.B, workers int) {
+	b.Helper()
+	u := survey.Generate(survey.GenConfig{Seed: 5, Pairs: 200})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := survey.Run(u, survey.RunConfig{
+			Algo: survey.AlgoMDALite, Retries: 1, Workers: workers,
+			Trace: mda.Config{Seed: 5},
+		})
+		if len(res.Outcomes) != 200 {
+			b.Fatalf("outcomes = %d", len(res.Outcomes))
+		}
+	}
+	b.ReportMetric(float64(200*b.N)/b.Elapsed().Seconds(), "pairs/s")
 }
 
 // BenchmarkSimProbeRoundTrip measures one full probe round trip through

@@ -53,6 +53,8 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "random seed")
 		bound    = flag.Float64("failure-bound", 0.05, "per-vertex failure probability bound")
 		rounds   = flag.Int("rounds", 10, "alias resolution rounds (multilevel)")
+		runs     = flag.Int("runs", 1, "trace the scenario this many times under derived seeds, reporting variance")
+		workers  = flag.Int("workers", 0, "concurrent trace workers for -runs > 1 (0 = GOMAXPROCS; results are identical)")
 		jsonOut  = flag.Bool("json", false, "emit the result as one JSON object")
 		verbose  = flag.Bool("v", false, "also print the ground truth")
 	)
@@ -108,6 +110,52 @@ func main() {
 
 	src := mmlpt.MustParseAddr("192.0.2.1")
 	dst := mmlpt.MustParseAddr("198.51.100.77")
+
+	if *runs > 1 {
+		// Repeated tracing under derived seeds: one fresh scenario per
+		// run, traced by a worker pool. Reports per-run packet counts and
+		// the aggregate, the quick way to gauge an algorithm's cost
+		// variance on a topology.
+		if *jsonOut {
+			fmt.Fprintln(os.Stderr, "-json emits a single trace record; it cannot be combined with -runs > 1")
+			os.Exit(2)
+		}
+		probers := make([]mmlpt.Prober, *runs)
+		var truth0 *mmlpt.Graph
+		for i := range probers {
+			n, truth := mmlpt.BuildScenario(*seed+uint64(i), src, dst, build)
+			if i == 0 {
+				truth0 = truth
+			}
+			probers[i] = mmlpt.NewSimProber(n, src, dst)
+		}
+		if *verbose {
+			fmt.Printf("ground truth of run 0 (%s; later runs rebuild under seeds %d..%d):\n%s\n",
+				*shape, *seed+1, *seed+uint64(*runs-1), truth0)
+		}
+		results := mmlpt.TraceEach(probers, mmlpt.Options{
+			Algorithm: algorithm, Phi: *phi, Seed: *seed,
+			FailureBound: *bound, Rounds: *rounds, Workers: *workers,
+		})
+		var total uint64
+		reached, switched := 0, 0
+		for i, r := range results {
+			fmt.Printf("run %d: probes=%d reached=%v switched=%v\n",
+				i, r.Probes(), r.IP.ReachedDst, r.IP.SwitchedToMDA)
+			total += r.Probes()
+			if r.IP.ReachedDst {
+				reached++
+			}
+			if r.IP.SwitchedToMDA {
+				switched++
+			}
+		}
+		fmt.Printf("mean probes %.1f over %d runs, reached %d/%d, switched %d/%d\n",
+			float64(total)/float64(len(results)), len(results),
+			reached, len(results), switched, len(results))
+		return
+	}
+
 	net, truth := mmlpt.BuildScenario(*seed, src, dst, build)
 	if *verbose {
 		fmt.Printf("ground truth (%s):\n%s\n", *shape, truth)

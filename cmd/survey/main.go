@@ -44,20 +44,21 @@ func dumpJSONL(path string, res *survey.Result) error {
 
 func main() {
 	var (
-		level  = flag.String("level", "ip", "survey level: ip or router")
-		pairs  = flag.Int("pairs", 1000, "number of source-destination pairs")
-		seed   = flag.Uint64("seed", 1, "random seed")
-		phi    = flag.Int("phi", 2, "MDA-Lite meshing budget")
-		rounds = flag.Int("rounds", 10, "alias rounds (router level)")
-		figs   = flag.Bool("figs", false, "also print full figure series")
-		jsonl  = flag.String("jsonl", "", "write per-trace JSONL records to this file")
+		level   = flag.String("level", "ip", "survey level: ip or router")
+		pairs   = flag.Int("pairs", 1000, "number of source-destination pairs")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		phi     = flag.Int("phi", 2, "MDA-Lite meshing budget")
+		rounds  = flag.Int("rounds", 10, "alias rounds (router level)")
+		workers = flag.Int("workers", 0, "concurrent trace workers (0 = GOMAXPROCS, 1 = serial; results are identical)")
+		figs    = flag.Bool("figs", false, "also print full figure series")
+		jsonl   = flag.String("jsonl", "", "write per-trace JSONL records to this file")
 	)
 	flag.Parse()
 
 	switch *level {
 	case "ip":
 		res := experiments.IPSurvey(experiments.SurveyConfig{
-			Pairs: *pairs, Seed: *seed, Phi: *phi,
+			Pairs: *pairs, Seed: *seed, Phi: *phi, Workers: *workers,
 		})
 		fmt.Print(res.Summary())
 		if *jsonl != "" {
@@ -77,7 +78,7 @@ func main() {
 		}
 	case "router":
 		res, recs := experiments.RouterSurvey(experiments.SurveyConfig{
-			Pairs: *pairs, Seed: *seed, Phi: *phi, Rounds: *rounds,
+			Pairs: *pairs, Seed: *seed, Phi: *phi, Rounds: *rounds, Workers: *workers,
 		})
 		fmt.Print(res.Summary())
 		if *jsonl != "" {

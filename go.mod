@@ -1,0 +1,3 @@
+module mmlpt
+
+go 1.21

@@ -7,6 +7,7 @@ import (
 )
 
 func TestFig1Accounting(t *testing.T) {
+	t.Parallel()
 	rows := Fig1(Fig1Config{Runs: 8, Seed: 3})
 	byKey := map[string]Fig1Row{}
 	for _, r := range rows {
@@ -34,6 +35,7 @@ func TestFig1Accounting(t *testing.T) {
 }
 
 func TestSec3ValidationSmall(t *testing.T) {
+	t.Parallel()
 	r := Sec3Validation(Sec3Config{Samples: 10, RunsPerSample: 200, Seed: 9})
 	if r.Predicted != 0.03125 {
 		t.Fatalf("predicted %.5f, want 0.03125", r.Predicted)
@@ -45,6 +47,7 @@ func TestSec3ValidationSmall(t *testing.T) {
 }
 
 func TestFig3Shapes(t *testing.T) {
+	t.Parallel()
 	curves := Fig3(Fig3Config{Runs: 6, Seed: 21})
 	byKey := map[string]Fig3Curve{}
 	for _, c := range curves {
@@ -79,6 +82,7 @@ func TestFig3Shapes(t *testing.T) {
 }
 
 func TestFig4Table1Shape(t *testing.T) {
+	t.Parallel()
 	r := Fig4(Fig4Config{Pairs: 60, Seed: 5})
 	if r.Pairs < 40 {
 		t.Fatalf("only %d diamond-bearing pairs evaluated", r.Pairs)
@@ -114,6 +118,10 @@ func TestFig4Table1Shape(t *testing.T) {
 }
 
 func TestFig5Shape(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("multilevel rounds over 25 pairs are slow")
+	}
 	rows := Fig5(Fig5Config{Pairs: 25, Rounds: 5, Seed: 77})
 	if len(rows) != 6 {
 		t.Fatalf("rows = %d", len(rows))
@@ -134,6 +142,10 @@ func TestFig5Shape(t *testing.T) {
 }
 
 func TestTable2Shape(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("multilevel rounds over 30 pairs are slow")
+	}
 	r := Table2(Table2Config{Pairs: 30, Rounds: 4, Seed: 15})
 	if r.Sets == 0 {
 		t.Fatal("no router sets in the union")
@@ -154,6 +166,10 @@ func TestTable2Shape(t *testing.T) {
 }
 
 func TestIPSurveySmallShapes(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("600-pair universe is slow")
+	}
 	// Population fractions are popularity-weighted and need a few hundred
 	// distinct diamonds before they stabilize; 600 pairs keeps the bands
 	// meaningful without slowing the suite.

@@ -82,6 +82,12 @@ func traceProgress(seed uint64, build func(*fakeroute.AddrAllocator, packet.Addr
 		s.RunMDA(0)
 		res = s.Finish(false)
 	}
+	// The per-probe callback fires before its round's replies are folded
+	// into the graph (with batched rounds, up to a whole n_k round can be
+	// in flight), so close the curve with a terminal point reflecting the
+	// completed trace.
+	vf, ef := topo.SubgraphCoverage(s.G, path.Graph)
+	curve = append(curve, [3]float64{float64(res.Probes), vf, ef})
 	return curve, res.Probes, res.SwitchedToMDA
 }
 

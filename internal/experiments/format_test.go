@@ -10,6 +10,7 @@ import (
 // machine-consumable.
 
 func TestFormatFig1(t *testing.T) {
+	t.Parallel()
 	s := FormatFig1(Fig1(Fig1Config{Runs: 3, Seed: 1}))
 	if !strings.Contains(s, "# Fig 1") || !strings.Contains(s, "mda-lite") {
 		t.Fatalf("output:\n%s", s)
@@ -20,6 +21,7 @@ func TestFormatFig1(t *testing.T) {
 }
 
 func TestFormatFig3(t *testing.T) {
+	t.Parallel()
 	s := FormatFig3(Fig3(Fig3Config{Runs: 2, Seed: 1}))
 	for _, want := range []string{"# Fig 3", "max-length-2 mda", "meshed mda-lite", "switch_rate"} {
 		if !strings.Contains(s, want) {
@@ -29,6 +31,7 @@ func TestFormatFig3(t *testing.T) {
 }
 
 func TestFormatFig4(t *testing.T) {
+	t.Parallel()
 	r := Fig4(Fig4Config{Pairs: 10, Seed: 1})
 	s := FormatFig4(r)
 	for _, want := range []string{"# Fig 4", "# Table 1", "Second MDA", "Single flow ID", "paper:"} {
@@ -42,6 +45,7 @@ func TestFormatFig4(t *testing.T) {
 }
 
 func TestFormatSec3(t *testing.T) {
+	t.Parallel()
 	s := FormatSec3(Sec3Validation(Sec3Config{Samples: 2, RunsPerSample: 50, Seed: 1}))
 	for _, want := range []string{"predicted_failure 0.03125", "measured_failure", "within_ci"} {
 		if !strings.Contains(s, want) {
@@ -51,6 +55,7 @@ func TestFormatSec3(t *testing.T) {
 }
 
 func TestFormatFig5(t *testing.T) {
+	t.Parallel()
 	s := FormatFig5(Fig5(Fig5Config{Pairs: 5, Rounds: 2, Seed: 1}))
 	if !strings.Contains(s, "# Fig 5") || !strings.Contains(s, "probe_ratio") {
 		t.Fatalf("output:\n%s", s)
@@ -61,6 +66,7 @@ func TestFormatFig5(t *testing.T) {
 }
 
 func TestFormatTable2(t *testing.T) {
+	t.Parallel()
 	s := FormatTable2(Table2(Table2Config{Pairs: 8, Rounds: 2, Seed: 1}))
 	for _, want := range []string{"# Table 2", "Accept Indirect", "Unable Direct"} {
 		if !strings.Contains(s, want) {
@@ -70,6 +76,7 @@ func TestFormatTable2(t *testing.T) {
 }
 
 func TestFormatSurveyFigures(t *testing.T) {
+	t.Parallel()
 	res := IPSurvey(SurveyConfig{Pairs: 120, Seed: 2})
 	checks := []struct {
 		out  string
@@ -93,6 +100,7 @@ func TestFormatSurveyFigures(t *testing.T) {
 }
 
 func TestFormatRouterFigures(t *testing.T) {
+	t.Parallel()
 	res, recs := RouterSurvey(SurveyConfig{Pairs: 40, Seed: 3, Rounds: 2})
 	if s := FormatFig12(recs); !strings.Contains(s, "# Fig 12") {
 		t.Fatal("fig 12 header")

@@ -16,6 +16,9 @@ type SurveyConfig struct {
 	Seed   uint64
 	Phi    int
 	Rounds int // alias rounds for the router-level survey
+	// Workers is the trace concurrency (0 = GOMAXPROCS, 1 = serial).
+	// Results are identical for every worker count.
+	Workers int
 }
 
 // IPSurvey runs the Sec 5.1 IP-level survey with the MDA (as the paper
@@ -27,7 +30,8 @@ func IPSurvey(cfg SurveyConfig) *survey.Result {
 	u := survey.Generate(survey.GenConfig{Seed: cfg.Seed ^ 0x1b5e7, Pairs: cfg.Pairs})
 	return survey.Run(u, survey.RunConfig{
 		Algo: survey.AlgoMDA, Phi: cfg.Phi, Retries: 1,
-		Trace: mda.Config{Seed: cfg.Seed},
+		Workers: cfg.Workers,
+		Trace:   mda.Config{Seed: cfg.Seed},
 	})
 }
 
@@ -44,7 +48,8 @@ func RouterSurvey(cfg SurveyConfig) (*survey.Result, []survey.RouterRecord) {
 	res := survey.Run(u, survey.RunConfig{
 		Algo: survey.AlgoMultilevel, Phi: cfg.Phi, Retries: 1,
 		OnlyLB: true, Rounds: cfg.Rounds,
-		Trace: mda.Config{Seed: cfg.Seed},
+		Workers: cfg.Workers,
+		Trace:   mda.Config{Seed: cfg.Seed},
 	})
 	return res, survey.RouterView(res)
 }

@@ -2,6 +2,8 @@ package fakeroute
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"mmlpt/internal/nprand"
 	"mmlpt/internal/packet"
@@ -42,7 +44,7 @@ type Path struct {
 	// vertex's successor edges (violating MDA assumption (3)). Keyed by
 	// vertex; the slice is index-aligned with the vertex's successors.
 	WeightedEdges map[topo.VertexID][]float64
-	// Alt, when non-nil, replaces Graph once the network clock reaches
+	// Alt, when non-nil, replaces Graph once the trace clock reaches
 	// AltAt: a routing change mid-measurement, violating MDA assumption
 	// (1). The alternate graph's interfaces must be registered.
 	Alt   *topo.Graph
@@ -58,19 +60,34 @@ func (p *Path) activeGraph(now uint64) *topo.Graph {
 }
 
 // Network is the simulated internet.
+//
+// Construction (NewRouter, AddIface, AddPath, EnsureIfaces and the
+// topology builders) is not synchronized and must complete before probing
+// begins. Probing itself — HandleProbe, or Session.HandleProbe obtained
+// from SessionFor — is safe for concurrent use: all per-probe mutable
+// state (randomness, clocks, IP ID counters, token buckets) lives in
+// per-trace Sessions, so concurrent traces of distinct pairs neither race
+// nor perturb each other's deterministic streams.
 type Network struct {
-	rng     *nprand.Source
+	seed    uint64
+	rng     *nprand.Source // construction-time randomness only
 	routers []*Router
 	ifaces  map[packet.Addr]*Iface
 	paths   map[PathKey]*Path
 
 	// LossProb drops each reply independently with this probability
-	// (models ICMP rate limiting noise and loss; default 0).
+	// (models ICMP rate limiting noise and loss; default 0). Set it
+	// before probing begins.
 	LossProb float64
 
-	clock uint64
+	// clockBase is advanced by AdvanceClock (atomic); every session adds
+	// it to its own tick counter.
+	clockBase uint64
 
-	// Stats
+	sessMu   sync.RWMutex
+	sessions map[PathKey]*Session
+
+	// Stats, updated atomically across all sessions.
 	ProbesSeen  uint64
 	RepliesSent uint64
 	Dropped     uint64
@@ -79,19 +96,27 @@ type Network struct {
 // NewNetwork creates an empty simulated network with the given seed.
 func NewNetwork(seed uint64) *Network {
 	return &Network{
-		rng:    nprand.New(seed),
-		ifaces: make(map[packet.Addr]*Iface),
-		paths:  make(map[PathKey]*Path),
+		seed:     seed,
+		rng:      nprand.New(seed),
+		ifaces:   make(map[packet.Addr]*Iface),
+		paths:    make(map[PathKey]*Path),
+		sessions: make(map[PathKey]*Session),
 	}
 }
 
-// Clock returns the simulated tick counter (one tick per handled probe).
-func (n *Network) Clock() uint64 { return n.clock }
+// Clock returns the simulated tick count: one tick per handled probe plus
+// any AdvanceClock ticks.
+func (n *Network) Clock() uint64 {
+	return atomic.LoadUint64(&n.clockBase) + atomic.LoadUint64(&n.ProbesSeen)
+}
 
 // AdvanceClock pushes simulated time forward without traffic: router
-// token buckets refill and background IP ID velocity accrues. Pacing
-// probers use it to model waiting out ICMP rate limits.
-func (n *Network) AdvanceClock(ticks uint64) { n.clock += ticks }
+// token buckets refill and background IP ID velocity accrues, in every
+// trace session. It is the network-wide knob (route-change scheduling,
+// single-trace pacing scenarios); advancing it while other traces probe
+// concurrently makes their replies depend on the interleaving, so
+// parallel pacing should use Session.AdvanceClock instead.
+func (n *Network) AdvanceClock(ticks uint64) { atomic.AddUint64(&n.clockBase, ticks) }
 
 // NewRouter allocates a router with sane defaults: shared IP ID counter,
 // modest background velocity, Cisco-like fingerprint, echo-responsive.
@@ -192,9 +217,99 @@ func (n *Network) Paths() []*Path {
 	return out
 }
 
+// Session holds the per-trace mutable state of the network: a
+// deterministic random stream, a tick counter, and this trace's view of
+// every router's IP ID counters and rate-limit token buckets. Sessions
+// are keyed by (source, destination); the stream is derived purely from
+// the network seed and the key, so a trace's replies depend only on its
+// own probe sequence — never on how traces of other pairs interleave.
+// That property is what makes a parallel survey run byte-identical to a
+// serial one.
+//
+// A Session serializes its own probe handling with a mutex, so it is safe
+// (though pointless) for two goroutines to share one.
+type Session struct {
+	net *Network
+	key PathKey
+
+	mu      sync.Mutex
+	rng     *nprand.Source
+	clock   uint64
+	routers map[*Router]*ctrView
+	ifaces  map[*Iface]*ctrView
+	buckets map[*Router]*bucket
+}
+
+// ctrView is a session's view of one IP ID counter.
+type ctrView struct {
+	ctr  uint16
+	last uint64 // tick of the last sample
+}
+
+// bucket is a session's view of one router's rate-limit token bucket.
+type bucket struct {
+	tokens float64
+	tick   uint64
+}
+
+// SessionFor returns the per-trace session for (src, dst), creating it on
+// first use. Repeated calls return the same session, so repeated traces
+// of one pair see counters and clocks carry over, as they would against a
+// real network.
+func (n *Network) SessionFor(src, dst packet.Addr) *Session {
+	key := PathKey{Src: src, Dst: dst}
+	n.sessMu.RLock()
+	s := n.sessions[key]
+	n.sessMu.RUnlock()
+	if s != nil {
+		return s
+	}
+	n.sessMu.Lock()
+	defer n.sessMu.Unlock()
+	if s := n.sessions[key]; s != nil {
+		return s
+	}
+	s = &Session{
+		net:     n,
+		key:     key,
+		rng:     nprand.New(n.seed ^ nprand.FlowHash(uint64(src), uint64(dst))),
+		routers: make(map[*Router]*ctrView),
+		ifaces:  make(map[*Iface]*ctrView),
+		buckets: make(map[*Router]*bucket),
+	}
+	n.sessions[key] = s
+	return s
+}
+
+// HandleProbe accepts one serialized probe packet and dispatches it to
+// the session of the packet's (source, destination) pair. Probers that
+// interleave traceroute and direct echo probes of one trace should hold a
+// Session from SessionFor and call its HandleProbe instead, so that both
+// probe families sample the same counter views (the Monotonic Bounds Test
+// depends on that).
+func (n *Network) HandleProbe(raw []byte) []byte {
+	var src, dst packet.Addr
+	if len(raw) >= packet.IPv4HeaderLen {
+		src = packet.Addr(uint32(raw[12])<<24 | uint32(raw[13])<<16 | uint32(raw[14])<<8 | uint32(raw[15]))
+		dst = packet.Addr(uint32(raw[16])<<24 | uint32(raw[17])<<16 | uint32(raw[18])<<8 | uint32(raw[19]))
+	}
+	return n.SessionFor(src, dst).HandleProbe(raw)
+}
+
+// AdvanceClock pushes this trace's virtual time forward without traffic:
+// the per-trace counterpart of Network.AdvanceClock. Token buckets and
+// IP ID velocity observed by this session accrue the ticks; other
+// sessions are untouched, so pacing one trace stays deterministic while
+// other traces probe in parallel.
+func (s *Session) AdvanceClock(ticks uint64) {
+	s.mu.Lock()
+	s.clock += ticks
+	s.mu.Unlock()
+}
+
 // nextVertex applies the load balancing policy of vertex v for the probe,
 // over the topology g in force at this tick.
-func (n *Network) nextVertex(p *Path, g *topo.Graph, v topo.VertexID, pp *packet.ParsedProbe) topo.VertexID {
+func (s *Session) nextVertex(p *Path, g *topo.Graph, v topo.VertexID, pp *packet.ParsedProbe) topo.VertexID {
 	succ := g.Succ(v)
 	switch len(succ) {
 	case 0:
@@ -211,7 +326,7 @@ func (n *Network) nextVertex(p *Path, g *topo.Graph, v topo.VertexID, pp *packet
 		var x float64
 		switch mode {
 		case LBPerPacket:
-			x = n.rng.Float64()
+			x = s.rng.Float64()
 		case LBPerDestination:
 			x = float64(nprand.FlowHash(vertexKey(p, g, v), uint64(pp.IP.Dst))>>11) / (1 << 53)
 		default:
@@ -234,7 +349,7 @@ func (n *Network) nextVertex(p *Path, g *topo.Graph, v topo.VertexID, pp *packet
 	}
 	switch mode {
 	case LBPerPacket:
-		idx = n.rng.Intn(len(succ))
+		idx = s.rng.Intn(len(succ))
 	case LBPerDestination:
 		idx = int(nprand.FlowHash(vertexKey(p, g, v), uint64(pp.IP.Dst)) % uint64(len(succ)))
 	default:
@@ -256,9 +371,13 @@ func vertexKey(p *Path, g *topo.Graph, v topo.VertexID) uint64 {
 // HandleProbe accepts one serialized probe packet and returns the
 // serialized reply, or nil if the probe is dropped (loss, rate limiting,
 // star hop, or no reply per the topology).
-func (n *Network) HandleProbe(raw []byte) []byte {
-	n.clock++
-	n.ProbesSeen++
+func (s *Session) HandleProbe(raw []byte) []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.net
+	s.clock++
+	now := atomic.LoadUint64(&n.clockBase) + s.clock
+	atomic.AddUint64(&n.ProbesSeen, 1)
 
 	// Echo (direct) probes are dispatched to the target interface.
 	var outerProto byte
@@ -266,20 +385,20 @@ func (n *Network) HandleProbe(raw []byte) []byte {
 		outerProto = raw[9]
 	}
 	if outerProto == packet.ProtoICMP {
-		return n.handleEcho(raw)
+		return s.handleEcho(raw, now)
 	}
 
 	pp, err := packet.ParseProbe(raw)
 	if err != nil {
-		n.Dropped++
+		atomic.AddUint64(&n.Dropped, 1)
 		return nil
 	}
 	p := n.paths[PathKey{Src: pp.IP.Src, Dst: pp.IP.Dst}]
 	if p == nil {
-		n.Dropped++
+		atomic.AddUint64(&n.Dropped, 1)
 		return nil
 	}
-	g := p.activeGraph(n.clock)
+	g := p.activeGraph(now)
 	dstHop := g.NumHops() - 1
 	cur := g.Hop(0)[0]
 	hop := 0
@@ -287,7 +406,7 @@ func (n *Network) HandleProbe(raw []byte) []byte {
 	// The probe is forwarded until its TTL expires or it reaches the
 	// destination host. hop h is reached after h+1 TTL decrements.
 	for ttl > 1 && hop < dstHop {
-		next := n.nextVertex(p, g, cur, pp)
+		next := s.nextVertex(p, g, cur, pp)
 		if next == topo.None {
 			break // dead end: silent drop (routing hole)
 		}
@@ -298,38 +417,38 @@ func (n *Network) HandleProbe(raw []byte) []byte {
 	v := g.V(cur)
 	atDst := hop == dstHop
 	if v.Addr == topo.StarAddr {
-		n.Dropped++
+		atomic.AddUint64(&n.Dropped, 1)
 		return nil // star: the hop never answers
 	}
-	if n.LossProb > 0 && n.rng.Float64() < n.LossProb {
-		n.Dropped++
+	if n.LossProb > 0 && s.rng.Float64() < n.LossProb {
+		atomic.AddUint64(&n.Dropped, 1)
 		return nil
 	}
 	if atDst {
-		return n.craftPortUnreachable(pp, v.Addr, hop)
+		return s.craftPortUnreachable(pp, v.Addr, hop, now)
 	}
 	ifc := n.ifaces[v.Addr]
 	if ifc == nil {
-		n.Dropped++
+		atomic.AddUint64(&n.Dropped, 1)
 		return nil
 	}
-	if !ifc.Router.allowReply(n.clock) {
-		n.Dropped++
+	if !s.allowReply(ifc.Router, now) {
+		atomic.AddUint64(&n.Dropped, 1)
 		return nil
 	}
-	return n.craftTimeExceeded(pp, ifc, hop, raw)
+	return s.craftTimeExceeded(pp, ifc, hop, raw, now)
 }
 
 // craftTimeExceeded builds the ICMP Time Exceeded reply from ifc at
 // forward distance hop (0-based).
-func (n *Network) craftTimeExceeded(pp *packet.ParsedProbe, ifc *Iface, hop int, probeRaw []byte) []byte {
+func (s *Session) craftTimeExceeded(pp *packet.ParsedProbe, ifc *Iface, hop int, probeRaw []byte, now uint64) []byte {
 	r := ifc.Router
 	icmp := packet.ICMP{
 		Type:    packet.ICMPTypeTimeExceeded,
 		Code:    packet.ICMPCodeTTLExceeded,
 		Payload: quoteProbe(probeRaw),
 	}
-	if label := ifc.effectiveLabel(n.clock, n.rng); label != 0 {
+	if label := ifc.effectiveLabel(now); label != 0 {
 		icmp.Extensions = packet.EncodeMPLSExtension([]packet.MPLSLabelStackEntry{
 			{Label: label, S: true, TTL: 1},
 		})
@@ -340,7 +459,7 @@ func (n *Network) craftTimeExceeded(pp *packet.ParsedProbe, ifc *Iface, hop int,
 		replyTTL = 1
 	}
 	ip := packet.IPv4{
-		ID:       n.nextIPID(ifc, true, pp.IP.ID, n.clock),
+		ID:       s.nextIPID(ifc, true, pp.IP.ID, now),
 		TTL:      byte(replyTTL),
 		Protocol: packet.ProtoICMP,
 		Src:      ifc.Addr,
@@ -348,12 +467,12 @@ func (n *Network) craftTimeExceeded(pp *packet.ParsedProbe, ifc *Iface, hop int,
 	}
 	buf := make([]byte, 0, packet.IPv4HeaderLen+len(body))
 	buf = ip.SerializeTo(buf, len(body))
-	n.RepliesSent++
+	atomic.AddUint64(&s.net.RepliesSent, 1)
 	return append(buf, body...)
 }
 
 // craftPortUnreachable builds the destination's ICMP Port Unreachable.
-func (n *Network) craftPortUnreachable(pp *packet.ParsedProbe, dst packet.Addr, hop int) []byte {
+func (s *Session) craftPortUnreachable(pp *packet.ParsedProbe, dst packet.Addr, hop int, now uint64) []byte {
 	// Re-serialize the quoted probe from its parsed form: the host quotes
 	// the datagram as received, with the TTL it saw on arrival.
 	quoted := packet.Probe{
@@ -373,7 +492,7 @@ func (n *Network) craftPortUnreachable(pp *packet.ParsedProbe, dst packet.Addr, 
 	// Destination hosts typically have a normal host IP stack: shared,
 	// fast-moving ID counter. Model with a per-destination hash-derived
 	// stride so repeated traces stay plausible.
-	id := uint16(nprand.FlowHash(uint64(dst), n.clock))
+	id := uint16(nprand.FlowHash(uint64(dst), now))
 	ip := packet.IPv4{
 		ID:       id,
 		TTL:      byte(replyTTL),
@@ -383,45 +502,46 @@ func (n *Network) craftPortUnreachable(pp *packet.ParsedProbe, dst packet.Addr, 
 	}
 	buf := make([]byte, 0, packet.IPv4HeaderLen+len(body))
 	buf = ip.SerializeTo(buf, len(body))
-	n.RepliesSent++
+	atomic.AddUint64(&s.net.RepliesSent, 1)
 	return append(buf, body...)
 }
 
 // handleEcho answers a direct ICMP Echo probe.
-func (n *Network) handleEcho(raw []byte) []byte {
+func (s *Session) handleEcho(raw []byte, now uint64) []byte {
+	n := s.net
 	var outer packet.IPv4
 	body, err := outer.DecodeFromBytes(raw)
 	if err != nil {
-		n.Dropped++
+		atomic.AddUint64(&n.Dropped, 1)
 		return nil
 	}
 	var echo packet.ICMP
 	if err := echo.DecodeFromBytes(body); err != nil || echo.Type != packet.ICMPTypeEcho {
-		n.Dropped++
+		atomic.AddUint64(&n.Dropped, 1)
 		return nil
 	}
 	ifc := n.ifaces[outer.Dst]
 	if ifc == nil {
-		n.Dropped++
+		atomic.AddUint64(&n.Dropped, 1)
 		return nil
 	}
 	r := ifc.Router
 	if !r.RespondsToEcho {
-		n.Dropped++
+		atomic.AddUint64(&n.Dropped, 1)
 		return nil
 	}
-	if !r.allowReply(n.clock) {
-		n.Dropped++
+	if !s.allowReply(r, now) {
+		atomic.AddUint64(&n.Dropped, 1)
 		return nil
 	}
-	if n.LossProb > 0 && n.rng.Float64() < n.LossProb {
-		n.Dropped++
+	if n.LossProb > 0 && s.rng.Float64() < n.LossProb {
+		atomic.AddUint64(&n.Dropped, 1)
 		return nil
 	}
 	reply := packet.ICMP{Type: packet.ICMPTypeEchoReply, ID: echo.ID, Seq: echo.Seq, Payload: echo.Payload}
 	rbody := reply.SerializeTo(nil)
 	ip := packet.IPv4{
-		ID:       n.nextIPID(ifc, false, outer.ID, n.clock),
+		ID:       s.nextIPID(ifc, false, outer.ID, now),
 		TTL:      r.InitialTTLEcho - 4, // nominal return distance
 		Protocol: packet.ProtoICMP,
 		Src:      outer.Dst,
@@ -429,7 +549,7 @@ func (n *Network) handleEcho(raw []byte) []byte {
 	}
 	buf := make([]byte, 0, packet.IPv4HeaderLen+len(rbody))
 	buf = ip.SerializeTo(buf, len(rbody))
-	n.RepliesSent++
+	atomic.AddUint64(&n.RepliesSent, 1)
 	return append(buf, rbody...)
 }
 

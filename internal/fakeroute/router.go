@@ -78,11 +78,9 @@ type Router struct {
 	RateLimit  int
 	RatePeriod uint64
 
+	// sharedCtr is the router-wide counter's initial phase, fixed at
+	// construction; each trace Session advances its own view of it.
 	sharedCtr  uint16
-	sharedLast uint64 // tick of last shared-counter sample
-	tokens     float64
-	tokensTick uint64
-	rateInit   bool
 	interfaces []packet.Addr
 }
 
@@ -102,83 +100,109 @@ type Iface struct {
 	// for alias resolution (the constancy requirement of Sec 4.1).
 	LabelFlaps bool
 
-	ctr     uint16
-	ctrLast uint64
+	// ctr is the per-interface counter's initial phase, fixed at
+	// construction; each trace Session advances its own view of it.
+	ctr uint16
 }
 
-// nextIPID produces the IP ID for a reply from iface at tick now.
-// indirect distinguishes Time Exceeded (true) from Echo (false) replies.
-// probeID is the IP ID of the probe being answered.
-func (n *Network) nextIPID(ifc *Iface, indirect bool, probeID uint16, now uint64) uint16 {
+// nextIPID produces the IP ID for a reply from iface at tick now, over
+// this session's view of the router's counters. indirect distinguishes
+// Time Exceeded (true) from Echo (false) replies. probeID is the IP ID of
+// the probe being answered.
+func (s *Session) nextIPID(ifc *Iface, indirect bool, probeID uint16, now uint64) uint16 {
 	r := ifc.Router
-	advance := func(ctr *uint16, last *uint64) uint16 {
-		delta := uint16(1)
-		if r.Velocity > 0 && now > *last {
-			delta += uint16(r.Velocity * float64(now-*last))
-		}
-		*last = now
-		*ctr += delta
-		return *ctr
-	}
 	switch r.IPID {
 	case IPIDShared:
-		return advance(&r.sharedCtr, &r.sharedLast)
+		return s.advanceRouterCtr(r, now)
 	case IPIDPerInterface:
 		if indirect {
-			return advance(&ifc.ctr, &ifc.ctrLast)
+			return s.advanceIfaceCtr(ifc, now)
 		}
-		return advance(&r.sharedCtr, &r.sharedLast)
+		return s.advanceRouterCtr(r, now)
 	case IPIDConstantZero:
 		return 0
 	case IPIDRandom:
-		return uint16(n.rng.Uint64())
+		return uint16(s.rng.Uint64())
 	case IPIDEchoCopy:
 		if indirect {
-			return advance(&r.sharedCtr, &r.sharedLast)
+			return s.advanceRouterCtr(r, now)
 		}
 		return probeID
 	case IPIDIndirectZero:
 		if indirect {
 			return 0
 		}
-		return advance(&r.sharedCtr, &r.sharedLast)
+		return s.advanceRouterCtr(r, now)
 	default:
-		return advance(&r.sharedCtr, &r.sharedLast)
+		return s.advanceRouterCtr(r, now)
 	}
 }
 
-// allowReply applies the router's token-bucket rate limit at tick now.
-func (r *Router) allowReply(now uint64) bool {
+// advanceRouterCtr samples the session's view of r's shared counter.
+func (s *Session) advanceRouterCtr(r *Router, now uint64) uint16 {
+	v := s.routers[r]
+	if v == nil {
+		v = &ctrView{ctr: r.sharedCtr}
+		s.routers[r] = v
+	}
+	return advanceCtr(v, r.Velocity, now)
+}
+
+// advanceIfaceCtr samples the session's view of ifc's own counter.
+func (s *Session) advanceIfaceCtr(ifc *Iface, now uint64) uint16 {
+	v := s.ifaces[ifc]
+	if v == nil {
+		v = &ctrView{ctr: ifc.ctr}
+		s.ifaces[ifc] = v
+	}
+	return advanceCtr(v, ifc.Router.Velocity, now)
+}
+
+// advanceCtr advances a counter view to tick now: one increment for the
+// sample itself plus the background velocity accrued since the last one.
+func advanceCtr(v *ctrView, velocity float64, now uint64) uint16 {
+	delta := uint16(1)
+	if velocity > 0 && now > v.last {
+		delta += uint16(velocity * float64(now-v.last))
+	}
+	v.last = now
+	v.ctr += delta
+	return v.ctr
+}
+
+// allowReply applies the router's token-bucket rate limit at tick now,
+// over this session's view of the bucket.
+func (s *Session) allowReply(r *Router, now uint64) bool {
 	if r.RateLimit <= 0 {
 		return true
 	}
-	if !r.rateInit {
+	b := s.buckets[r]
+	if b == nil {
 		// The bucket starts full: a quiet router answers an initial burst.
-		r.tokens = float64(r.RateLimit)
-		r.tokensTick = now
-		r.rateInit = true
+		b = &bucket{tokens: float64(r.RateLimit), tick: now}
+		s.buckets[r] = b
 	}
 	period := r.RatePeriod
 	if period == 0 {
 		period = 100
 	}
 	rate := float64(r.RateLimit) / float64(period)
-	if now > r.tokensTick {
-		r.tokens += rate * float64(now-r.tokensTick)
-		if cap := float64(r.RateLimit); r.tokens > cap {
-			r.tokens = cap
+	if now > b.tick {
+		b.tokens += rate * float64(now-b.tick)
+		if cap := float64(r.RateLimit); b.tokens > cap {
+			b.tokens = cap
 		}
-		r.tokensTick = now
+		b.tick = now
 	}
-	if r.tokens >= 1 {
-		r.tokens--
+	if b.tokens >= 1 {
+		b.tokens--
 		return true
 	}
 	return false
 }
 
 // effectiveLabel returns the MPLS label to attach now, honouring flapping.
-func (ifc *Iface) effectiveLabel(now uint64, rng *nprand.Source) uint32 {
+func (ifc *Iface) effectiveLabel(now uint64) uint32 {
 	if ifc.MPLSLabel == 0 {
 		return 0
 	}

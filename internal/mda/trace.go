@@ -163,6 +163,44 @@ func (s *Session) FreshFlow() (uint16, bool) {
 // Every call sends a packet; use VertexAt to avoid redundant sends.
 func (s *Session) ProbeHop(h int, f uint16) (topo.VertexID, bool) {
 	reply := s.P.Probe(f, h+1)
+	t, e := s.P.Sent()
+	return s.integrate(h, f, reply, t+e)
+}
+
+// ProbeHopBatch sends every flow at hop h as one batch and integrates the
+// replies in spec order, exactly as repeated ProbeHop calls would. The
+// returned vertices are index-aligned with flows (topo.None where no
+// reply arrived). Observation sequence numbers are assigned monotonically
+// within the batch (base count + position), since per-probe totals are
+// not observable once a whole round is in flight.
+func (s *Session) ProbeHopBatch(h int, flows []uint16) []topo.VertexID {
+	if len(flows) == 0 {
+		return nil
+	}
+	specs := make([]probe.Spec, len(flows))
+	for i, f := range flows {
+		specs[i] = probe.Spec{FlowID: f, TTL: h + 1}
+	}
+	base := probe.TotalSent(s.P)
+	replies := s.P.ProbeBatch(specs)
+	vs := make([]topo.VertexID, len(flows))
+	for i, f := range flows {
+		// Every spec sends at least one packet, so base+i+1 never passes
+		// the post-batch total and stays monotonic across batches.
+		seq := base + uint64(i) + 1
+		v, ok := s.integrate(h, f, replies[i], seq)
+		if !ok {
+			v = topo.None
+		}
+		vs[i] = v
+	}
+	return vs
+}
+
+// integrate folds one probe reply (or lack of one, when reply is nil)
+// into the session state. seq is the probe-counter value observations are
+// recorded at.
+func (s *Session) integrate(h int, f uint16, reply *packet.Reply, seq uint64) (topo.VertexID, bool) {
 	if reply == nil {
 		s.hopNoReply(h)[f] = true
 		return topo.None, false
@@ -180,8 +218,7 @@ func (s *Session) ProbeHop(h int, f uint16) (topo.VertexID, bool) {
 	s.hopTable(h)[f] = v
 	s.addFlow(v, f)
 	if s.Cfg.Obs != nil {
-		t, e := s.P.Sent()
-		s.Cfg.Obs.RecordTrace(reply, f, h+1, h, t+e)
+		s.Cfg.Obs.RecordTrace(reply, f, h+1, h, seq)
 	}
 	return v, true
 }
@@ -278,36 +315,62 @@ func (s *Session) IsDst(v topo.VertexID) bool { return s.isDst(v) }
 // successors of v (at hop h-1; Source discovers hop 0) by probing hop h
 // with flows through v, under the stopping rule. It returns the number of
 // distinct successors found.
+//
+// Probing proceeds in rounds: the n_k stopping-point schedule defines how
+// many probes the current successor count warrants, and each round issues
+// exactly that shortfall as one ProbeBatch. Flow selection happens during
+// round assembly — flows of v are independent of the round's own hop-h
+// replies, so assembling before sending chooses the same flows, in the
+// same order, as the probe-at-a-time loop did, and the stopping rule is
+// re-evaluated between rounds; because n_k only grows as successors are
+// found, the rounds stop at exactly the probe count the serial loop
+// stopped at.
 func (s *Session) DiscoverSuccessors(v topo.VertexID, h int) int {
 	used := make(map[uint16]bool)
 	succ := make(map[topo.VertexID]bool)
 	sent := 0
 	allSilent := true
-	for sent < Stop(s.Cfg.Stop, max(len(succ), 1)) {
-		f, ok := s.flowThrough(v, used)
-		if !ok {
+
+	note := func(w topo.VertexID) {
+		allSilent = false
+		succ[w] = true
+		if v != Source {
+			s.G.AddEdge(v, w)
+		}
+	}
+
+	for {
+		target := Stop(s.Cfg.Stop, max(len(succ), 1))
+		if sent >= target {
 			break
 		}
-		used[f] = true
-		// The flow may already have a known landing at hop h (it was
-		// probed there during another vertex's node control); reuse the
-		// knowledge without resending.
-		w, known := s.VertexAt(h, f)
-		if !known {
-			w, known = s.ProbeHop(h, f)
-			sent++
-		}
-		if !known {
-			continue
-		}
-		allSilent = false
-		if !succ[w] {
-			succ[w] = true
-			if v != Source {
-				s.G.AddEdge(v, w)
+		// Assemble one round. Node control inside flowThrough may probe
+		// v's own hop; knowledge a flow already has at hop h is reused
+		// without spending a packet, and can raise the target mid-round.
+		var flows []uint16
+		exhausted := false
+		for sent+len(flows) < target {
+			f, ok := s.flowThrough(v, used)
+			if !ok {
+				exhausted = true
+				break
 			}
-		} else if v != Source {
-			s.G.AddEdge(v, w)
+			used[f] = true
+			if w, known := s.VertexAt(h, f); known {
+				note(w)
+				target = Stop(s.Cfg.Stop, max(len(succ), 1))
+				continue
+			}
+			flows = append(flows, f)
+		}
+		for _, w := range s.ProbeHopBatch(h, flows) {
+			if w != topo.None {
+				note(w)
+			}
+		}
+		sent += len(flows)
+		if exhausted {
+			break
 		}
 	}
 	if allSilent && sent > 0 {

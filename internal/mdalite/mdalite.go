@@ -95,28 +95,58 @@ func divergenceHop(s *mda.Session, h int) int {
 // already used at the previous hop, then fresh ones. The MDA's hop-level
 // stopping rule applies: keep probing until the probe count reaches n_k,
 // where k is the number of vertices found at hop h so far.
+//
+// Probes are issued in rounds: candidate flows accumulate until they fill
+// the current n_k shortfall, then go out as one ProbeBatch; rounds also
+// close at pass boundaries, so every selection decision (is this flow's
+// hop-h landing known? did its earlier probe draw a reply?) sees fully
+// integrated state, exactly as the probe-at-a-time loop saw it. Within a
+// pass, candidate flows are disjoint (a flow lands on one vertex per
+// hop), so no decision depends on the pending round's own replies, and
+// n_k only grows as vertices are found — the rounds therefore send
+// exactly the flows, in exactly the order, the serial loop sent, replies
+// or no replies.
 func discoverHop(s *mda.Session, h int) {
 	sent := 0
 	gotReply := false
+	var pending []uint16
+
+	stop := func() int { return mda.Stop(s.Cfg.Stop, maxInt(s.G.Width(h), 1)) }
+
+	// flush sends the accumulated round as one batch and integrates the
+	// replies, seeding one edge per flow whose previous-hop landing is
+	// known.
+	flush := func() {
+		if len(pending) == 0 {
+			return
+		}
+		batch := pending
+		pending = nil
+		vs := s.ProbeHopBatch(h, batch)
+		sent += len(batch)
+		for i, w := range vs {
+			if w == topo.None {
+				continue
+			}
+			gotReply = true
+			if h > 0 {
+				if u, known := s.VertexAt(h-1, batch[i]); known {
+					s.G.AddEdge(u, w)
+				}
+			}
+		}
+	}
 
 	tryFlow := func(f uint16) bool {
 		if _, known := s.VertexAt(h, f); known {
 			return false // no packet needed; knowledge already present
 		}
-		w, ok := s.ProbeHop(h, f)
-		sent++
-		if ok {
-			gotReply = true
-			if h > 0 {
-				if u, known := s.VertexAt(h-1, f); known {
-					s.G.AddEdge(u, w)
-				}
-			}
+		pending = append(pending, f)
+		if sent+len(pending) >= stop() {
+			flush()
 		}
 		return true
 	}
-
-	stop := func() int { return mda.Stop(s.Cfg.Stop, maxInt(s.G.Width(h), 1)) }
 
 	if h > 0 && !s.Cfg.DisableFlowReuse {
 		// Pass 1: one flow per previous-hop vertex.
@@ -133,27 +163,33 @@ func discoverHop(s *mda.Session, h int) {
 				}
 			}
 		}
-		// Pass 2: remaining previously used flows.
+		flush()
+		// Pass 2: remaining previously used flows. A flow probed in pass
+		// 1 is skipped here when it drew a reply (its landing is known)
+		// and re-probed when it did not, as in the serial loop; the pass
+		// boundary flush above makes that distinction observable.
 		for _, u := range s.G.Hop(h - 1) {
 			if s.IsDst(u) {
 				continue
 			}
 			for _, f := range s.FlowsOf(u) {
-				if sent >= stop() {
+				if sent+len(pending) >= stop() {
 					break
 				}
 				tryFlow(f)
 			}
 		}
+		flush()
 	}
 	// Pass 3: fresh flows.
-	for sent < stop() {
+	for sent+len(pending) < stop() {
 		f, ok := s.FreshFlow()
 		if !ok {
 			break
 		}
 		tryFlow(f)
 	}
+	flush()
 	if !gotReply && sent > 0 {
 		star := s.G.AddVertex(h, topo.StarAddr)
 		s.AdoptStarFlows(h, star)

@@ -155,6 +155,15 @@ func (r *Source) Fork(label uint64) *Source {
 	return New(r.Uint64() ^ mix64(label))
 }
 
+// IndexedSeed derives the seed for the idx-th independent run of a batch
+// from a base seed, spacing seeds by the 64-bit golden ratio (the
+// splitmix64 increment) so nearby indices land far apart in seed space.
+// The survey runner and mmlpt.TraceEach share this derivation; equal
+// (base, idx) always selects the same stream.
+func IndexedSeed(base uint64, idx int) uint64 {
+	return base ^ uint64(idx)*0x9e3779b97f4a7c15
+}
+
 // FlowHash maps (key, flowID) to a 64-bit value that is deterministic per
 // flow and uniform across flows. Load balancers use it to pick a successor:
 // a router identified by key dispatches flowID to bucket

@@ -1,0 +1,46 @@
+// Package par provides the one concurrency primitive the probing engine
+// needs: an order-preserving indexed worker pool. Callers partition work
+// by index (one trace per pair, one result slot per prober), so the
+// output of a parallel run is identical to a serial walk by
+// construction.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Do runs fn(i) for every i in [0, n) using the given number of workers.
+// Zero or negative workers selects GOMAXPROCS; one runs serially on the
+// calling goroutine. fn must be safe to call concurrently for distinct
+// indices.
+func Do(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	feed := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range feed {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		feed <- i
+	}
+	close(feed)
+	wg.Wait()
+}

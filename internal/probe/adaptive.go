@@ -16,8 +16,11 @@ import (
 // a better reply rate at the cost of (simulated) time.
 
 // Clock is the time source a pacing prober can push forward. The
-// Fakeroute network implements it: advancing the clock refills router
-// token buckets without sending packets.
+// Fakeroute network implements it (network-wide), as does a per-trace
+// fakeroute.Session (SimProber.Session): advancing the clock refills
+// router token buckets without sending packets. Use the session clock
+// when other traces probe the network in parallel, so the pacing stays
+// deterministic.
 type Clock interface {
 	AdvanceClock(ticks uint64)
 }
@@ -65,6 +68,26 @@ func (a *AdaptiveProber) Probe(flowID uint16, ttl int) *packet.Reply {
 		backoff *= 2
 	}
 	return nil
+}
+
+// ProbeBatch implements Prober. Pacing decisions are inherently
+// sequential (each backoff depends on the previous probe's outcome), so
+// the batch is paced probe by probe.
+func (a *AdaptiveProber) ProbeBatch(specs []Spec) []*packet.Reply {
+	replies := make([]*packet.Reply, len(specs))
+	for i, sp := range specs {
+		replies[i] = a.Probe(sp.FlowID, sp.TTL)
+	}
+	return replies
+}
+
+// EchoBatch implements Prober with the same per-probe pacing.
+func (a *AdaptiveProber) EchoBatch(specs []EchoSpec) []*packet.Reply {
+	replies := make([]*packet.Reply, len(specs))
+	for i, sp := range specs {
+		replies[i] = a.Echo(sp.Addr, sp.Seq)
+	}
+	return replies
 }
 
 // Echo implements Prober with the same pacing.

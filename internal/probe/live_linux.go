@@ -74,10 +74,18 @@ func (p *LiveProber) Dst() packet.Addr { return p.Dst_ }
 // Sent implements Prober.
 func (p *LiveProber) Sent() (uint64, uint64) { return p.traceSent, p.echoSent }
 
-func (p *LiveProber) nextSerial() uint16 {
-	p.serial++
-	if p.serial == 0 {
-		p.serial = 1
+// nextSerial allocates a non-zero probe identity not currently owned by
+// another in-flight probe of the same batch, so a wrapped serial counter
+// cannot hand out a live identity (replies would be unattributable).
+func (p *LiveProber) nextSerial(inflight map[uint16]int) uint16 {
+	for i := 0; i < 1<<16; i++ {
+		p.serial++
+		if p.serial == 0 {
+			p.serial = 1
+		}
+		if _, live := inflight[p.serial]; !live {
+			return p.serial
+		}
 	}
 	return p.serial
 }
@@ -125,60 +133,165 @@ func (p *LiveProber) awaitReply(deadline time.Time, match func(*packet.Reply) bo
 	}
 }
 
-// Probe implements Prober.
+// Probe implements Prober as a batch of one.
 func (p *LiveProber) Probe(flowID uint16, ttl int) *packet.Reply {
-	if flowID > packet.MaxFlowID {
-		panic("probe: flow ID out of range")
+	return p.ProbeBatch([]Spec{{FlowID: flowID, TTL: ttl}})[0]
+}
+
+// ProbeBatch implements Prober: the whole round is sent back to back and
+// the replies are collected as they arrive, so the round trip cost is
+// paid once per round rather than once per probe. Unanswered probes are
+// retried (as a smaller batch) up to Retries times; the final attempt
+// sends one probe at a time, because a router that truncates the quoted
+// probe (identity-less reply) can only be attributed while a single
+// probe is outstanding.
+func (p *LiveProber) ProbeBatch(specs []Spec) []*packet.Reply {
+	for _, sp := range specs {
+		if sp.FlowID > packet.MaxFlowID {
+			panic("probe: flow ID out of range")
+		}
+	}
+	replies := make([]*packet.Reply, len(specs))
+	pending := make([]int, len(specs))
+	for i := range specs {
+		pending[i] = i
 	}
 	attempts := p.Retries + 1
-	for a := 0; a < attempts; a++ {
-		identity := p.nextSerial()
+	for a := 0; a < attempts && len(pending) > 0; a++ {
+		lastAttempt := a == attempts-1
+		batches := [][]int{pending}
+		if lastAttempt && len(pending) > 1 {
+			batches = batches[:0]
+			for _, i := range pending {
+				batches = append(batches, []int{i})
+			}
+		}
+		for _, batch := range batches {
+			p.probeWave(specs, batch, replies)
+		}
+		pending = pending[:0]
+		for i := range specs {
+			if replies[i] == nil {
+				pending = append(pending, i)
+			}
+		}
+	}
+	return replies
+}
+
+// probeWave sends one wave of probes (spec indices) and collects their
+// replies until the timeout, filling the replies slice in place.
+func (p *LiveProber) probeWave(specs []Spec, wave []int, replies []*packet.Reply) {
+	// owner maps each in-flight probe identity to its spec index.
+	owner := make(map[uint16]int, len(wave))
+	for _, i := range wave {
+		identity := p.nextSerial(owner)
 		pr := packet.Probe{
 			Src: p.Src, Dst: p.Dst_,
-			FlowID: flowID, TTL: byte(ttl), Checksum: identity,
+			FlowID: specs[i].FlowID, TTL: byte(specs[i].TTL), Checksum: identity,
 		}
 		p.traceSent++
 		if err := syscall.Sendto(p.sendFD, pr.Serialize(), 0, sockaddr(p.Dst_)); err != nil {
 			fmt.Fprintf(os.Stderr, "probe: sendto: %v\n", err)
 			continue
 		}
-		reply := p.awaitReply(time.Now().Add(p.Timeout), func(r *packet.Reply) bool {
+		owner[identity] = i
+	}
+	deadline := time.Now().Add(p.Timeout)
+	for len(owner) > 0 {
+		reply := p.awaitReply(deadline, func(r *packet.Reply) bool {
 			if r.IsEchoReply() {
 				return false
 			}
-			// Match on the quoted identity when present, else on the
-			// quoted destination (some routers truncate quotes).
+			// Match on the quoted identity when present. An
+			// identity-less quote (some routers truncate quotes) is
+			// attributable only when a single probe is outstanding.
 			if r.ProbeIdentity != 0 {
-				return r.ProbeIdentity == identity
+				_, ok := owner[r.ProbeIdentity]
+				return ok
 			}
-			return r.ProbeDst == p.Dst_
+			return len(owner) == 1 && r.ProbeDst == p.Dst_
 		})
-		if reply != nil {
-			return reply
+		if reply == nil {
+			break // deadline passed
+		}
+		idx, ok := owner[reply.ProbeIdentity]
+		if !ok {
+			// Identity-less match: the single outstanding probe.
+			for _, i := range owner {
+				idx = i
+			}
+		}
+		replies[idx] = reply
+		delete(owner, reply.ProbeIdentity)
+		if reply.ProbeIdentity == 0 {
+			owner = map[uint16]int{}
 		}
 	}
-	return nil
 }
 
-// Echo implements Prober.
+// Echo implements Prober as a batch of one.
 func (p *LiveProber) Echo(addr packet.Addr, seq uint16) *packet.Reply {
-	attempts := p.Retries + 1
+	return p.EchoBatch([]EchoSpec{{Addr: addr, Seq: seq}})[0]
+}
+
+// EchoBatch implements Prober, overlapping the round's echoes the same
+// way ProbeBatch overlaps traceroute probes. Replies are attributed by
+// (address, echo id, sequence); specs sharing both address and sequence
+// resolve to the first unanswered one.
+func (p *LiveProber) EchoBatch(specs []EchoSpec) []*packet.Reply {
 	const echoID = 0x4d4c
-	for a := 0; a < attempts; a++ {
-		ep := packet.EchoProbe{
-			Src: p.Src, Dst: addr,
-			ID: echoID, Seq: seq, IPID: seq,
+	replies := make([]*packet.Reply, len(specs))
+	pending := make([]int, len(specs))
+	for i := range specs {
+		pending[i] = i
+	}
+	attempts := p.Retries + 1
+	for a := 0; a < attempts && len(pending) > 0; a++ {
+		// Only probes that actually left the socket are awaited; a failed
+		// Sendto must not hold the receive loop open until the deadline.
+		outstanding := make([]int, 0, len(pending))
+		for _, i := range pending {
+			ep := packet.EchoProbe{
+				Src: p.Src, Dst: specs[i].Addr,
+				ID: echoID, Seq: specs[i].Seq, IPID: specs[i].Seq,
+			}
+			p.echoSent++
+			if err := syscall.Sendto(p.sendFD, ep.Serialize(), 0, sockaddr(specs[i].Addr)); err != nil {
+				continue
+			}
+			outstanding = append(outstanding, i)
 		}
-		p.echoSent++
-		if err := syscall.Sendto(p.sendFD, ep.Serialize(), 0, sockaddr(addr)); err != nil {
-			continue
+		deadline := time.Now().Add(p.Timeout)
+		for len(outstanding) > 0 {
+			reply := p.awaitReply(deadline, func(r *packet.Reply) bool {
+				if !r.IsEchoReply() || r.EchoID != echoID {
+					return false
+				}
+				for _, i := range outstanding {
+					if r.From == specs[i].Addr && r.EchoSeq == specs[i].Seq {
+						return true
+					}
+				}
+				return false
+			})
+			if reply == nil {
+				break
+			}
+			for k, i := range outstanding {
+				if reply.From == specs[i].Addr && reply.EchoSeq == specs[i].Seq {
+					replies[i] = reply
+					outstanding = append(outstanding[:k], outstanding[k+1:]...)
+					break
+				}
+			}
 		}
-		reply := p.awaitReply(time.Now().Add(p.Timeout), func(r *packet.Reply) bool {
-			return r.IsEchoReply() && r.From == addr && r.EchoID == echoID && r.EchoSeq == seq
-		})
-		if reply != nil {
-			return reply
+		pending = pending[:0]
+		for i := range specs {
+			if replies[i] == nil {
+				pending = append(pending, i)
+			}
 		}
 	}
-	return nil
+	return replies
 }

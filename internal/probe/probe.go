@@ -1,6 +1,14 @@
 // Package probe defines the boundary between the multipath detection
-// algorithms and the network: a Prober sends one traceroute probe (flow
-// identifier + TTL) or one direct echo probe and returns the parsed reply.
+// algorithms and the network: a Prober sends traceroute probes (flow
+// identifier + TTL) or direct echo probes and returns the parsed replies.
+//
+// The contract is batched: ProbeBatch and EchoBatch accept one round of
+// probe specifications and return the replies index-aligned with the
+// specs, which lets a transport keep a whole round in flight at once (a
+// live prober overlaps sends and receives; the synchronous simulator
+// prober answers each probe in order). The single-probe methods Probe and
+// Echo remain as thin adapters over the same core, so algorithm code that
+// probes one packet at a time keeps working unchanged.
 //
 // The algorithms never see raw sockets or the simulator; they are written
 // against this interface, so the same MDA / MDA-Lite / alias-resolution
@@ -9,9 +17,26 @@
 package probe
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"mmlpt/internal/fakeroute"
 	"mmlpt/internal/packet"
 )
+
+// Spec describes one traceroute probe of a batch: the Paris flow
+// identifier to hold constant and the TTL at which the probe should
+// expire.
+type Spec struct {
+	FlowID uint16
+	TTL    int
+}
+
+// EchoSpec describes one direct (ping-style) probe of a batch.
+type EchoSpec struct {
+	Addr packet.Addr
+	Seq  uint16
+}
 
 // Prober sends probes toward one destination.
 type Prober interface {
@@ -21,9 +46,19 @@ type Prober interface {
 	// non-responsive hop).
 	Probe(flowID uint16, ttl int) *packet.Reply
 
+	// ProbeBatch sends one round of traceroute probes and returns the
+	// replies index-aligned with specs (nil where no reply arrived).
+	// Implementations may keep the whole round in flight concurrently;
+	// retries, if any, apply per probe as they do for Probe.
+	ProbeBatch(specs []Spec) []*packet.Reply
+
 	// Echo sends a direct (ping-style) probe to addr, returning the parsed
 	// reply or nil.
 	Echo(addr packet.Addr, seq uint16) *packet.Reply
+
+	// EchoBatch sends one round of direct probes and returns the replies
+	// index-aligned with specs (nil where no reply arrived).
+	EchoBatch(specs []EchoSpec) []*packet.Reply
 
 	// Sent returns the number of traceroute probes and echo probes sent so
 	// far. The paper's packet counts are Sent totals.
@@ -35,19 +70,30 @@ type Prober interface {
 
 // SimProber drives a fakeroute.Network. It is synchronous: a probe's reply
 // (if any) is returned immediately, which matches the simulator's
-// deterministic semantics and keeps algorithm code free of timeouts.
+// deterministic semantics and keeps algorithm code free of timeouts; a
+// batch is therefore answered probe by probe, in spec order.
+//
+// A SimProber is safe for concurrent use: the sent counters are atomic
+// and probe-identity allocation is serialized, with identities held by
+// in-flight probes excluded from reuse (see nextSerial). All probes of
+// one SimProber flow through one fakeroute session, so direct and
+// indirect probes of a trace sample the same simulated counters.
 type SimProber struct {
 	Net       *fakeroute.Network
 	Src, Dst_ packet.Addr
-
-	serial    uint16
-	traceSent uint64
-	echoSent  uint64
 
 	// Retries is how many times Probe re-sends on no-reply before giving
 	// up (models the usual 2-3 attempts per hop of traceroute tools).
 	// Each attempt counts as a sent packet. Zero means a single attempt.
 	Retries int
+
+	traceSent uint64 // atomic
+	echoSent  uint64 // atomic
+
+	mu       sync.Mutex
+	sess     *fakeroute.Session
+	serial   uint16
+	inflight map[uint16]struct{}
 }
 
 // NewSimProber returns a prober tracing src→dst over n.
@@ -59,30 +105,91 @@ func NewSimProber(n *fakeroute.Network, src, dst packet.Addr) *SimProber {
 func (p *SimProber) Dst() packet.Addr { return p.Dst_ }
 
 // Sent implements Prober.
-func (p *SimProber) Sent() (uint64, uint64) { return p.traceSent, p.echoSent }
+func (p *SimProber) Sent() (uint64, uint64) {
+	return atomic.LoadUint64(&p.traceSent), atomic.LoadUint64(&p.echoSent)
+}
 
-// nextSerial returns a non-zero probe identity.
+// Session exposes the prober's per-trace fakeroute session — the right
+// Clock for an AdaptiveProber that must stay deterministic while other
+// traces run in parallel (Network.AdvanceClock is network-wide).
+func (p *SimProber) Session() *fakeroute.Session { return p.session() }
+
+// session returns the per-trace fakeroute session, creating it on first
+// use so zero-constructed SimProbers keep working.
+func (p *SimProber) session() *fakeroute.Session {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.sess == nil {
+		p.sess = p.Net.SessionFor(p.Src, p.Dst_)
+	}
+	return p.sess
+}
+
+// nextSerial allocates a non-zero probe identity that no in-flight probe
+// of this prober is currently using, and marks it in flight. Without the
+// exclusion, a trace longer than 65535 packets would wrap the serial
+// counter and could hand a live identity to a second probe of the same
+// batch, making their replies indistinguishable. If every identity is in
+// flight at once (pathological), the current serial is reused and reply
+// matching may be ambiguous, exactly as an unguarded wraparound would be.
 func (p *SimProber) nextSerial() uint16 {
-	p.serial++
-	if p.serial == 0 {
-		p.serial = 1
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.inflight == nil {
+		p.inflight = make(map[uint16]struct{})
+	}
+	for i := 0; i < 1<<16; i++ {
+		p.serial++
+		if p.serial == 0 {
+			p.serial = 1
+		}
+		if _, live := p.inflight[p.serial]; !live {
+			p.inflight[p.serial] = struct{}{}
+			return p.serial
+		}
 	}
 	return p.serial
 }
 
+// releaseSerial returns an identity to the free pool once its probe's
+// reply (or lack of one) has been observed.
+func (p *SimProber) releaseSerial(serial uint16) {
+	p.mu.Lock()
+	delete(p.inflight, serial)
+	p.mu.Unlock()
+}
+
 // Probe implements Prober.
 func (p *SimProber) Probe(flowID uint16, ttl int) *packet.Reply {
+	return p.probeOne(p.session(), flowID, ttl)
+}
+
+// ProbeBatch implements Prober. The simulator transport is synchronous,
+// so the batch is answered in spec order; the batched contract still
+// holds (replies index-aligned, per-probe retries).
+func (p *SimProber) ProbeBatch(specs []Spec) []*packet.Reply {
+	sess := p.session()
+	replies := make([]*packet.Reply, len(specs))
+	for i, sp := range specs {
+		replies[i] = p.probeOne(sess, sp.FlowID, sp.TTL)
+	}
+	return replies
+}
+
+func (p *SimProber) probeOne(sess *fakeroute.Session, flowID uint16, ttl int) *packet.Reply {
 	if flowID > packet.MaxFlowID {
 		panic("probe: flow ID out of range")
 	}
 	attempts := p.Retries + 1
 	for a := 0; a < attempts; a++ {
+		serial := p.nextSerial()
 		pr := packet.Probe{
 			Src: p.Src, Dst: p.Dst_,
-			FlowID: flowID, TTL: byte(ttl), Checksum: p.nextSerial(),
+			FlowID: flowID, TTL: byte(ttl), Checksum: serial,
 		}
-		p.traceSent++
-		raw := p.Net.HandleProbe(pr.Serialize())
+		atomic.AddUint64(&p.traceSent, 1)
+		raw := sess.HandleProbe(pr.Serialize())
+		p.releaseSerial(serial)
 		if raw == nil {
 			continue
 		}
@@ -97,6 +204,20 @@ func (p *SimProber) Probe(flowID uint16, ttl int) *packet.Reply {
 
 // Echo implements Prober.
 func (p *SimProber) Echo(addr packet.Addr, seq uint16) *packet.Reply {
+	return p.echoOne(p.session(), addr, seq)
+}
+
+// EchoBatch implements Prober.
+func (p *SimProber) EchoBatch(specs []EchoSpec) []*packet.Reply {
+	sess := p.session()
+	replies := make([]*packet.Reply, len(specs))
+	for i, sp := range specs {
+		replies[i] = p.echoOne(sess, sp.Addr, sp.Seq)
+	}
+	return replies
+}
+
+func (p *SimProber) echoOne(sess *fakeroute.Session, addr packet.Addr, seq uint16) *packet.Reply {
 	attempts := p.Retries + 1
 	for a := 0; a < attempts; a++ {
 		// The probe's IP ID is set to seq so callers can detect routers
@@ -105,8 +226,8 @@ func (p *SimProber) Echo(addr packet.Addr, seq uint16) *packet.Reply {
 			Src: p.Src, Dst: addr,
 			ID: 0x4d4c, Seq: seq, IPID: seq,
 		}
-		p.echoSent++
-		raw := p.Net.HandleProbe(ep.Serialize())
+		atomic.AddUint64(&p.echoSent, 1)
+		raw := sess.HandleProbe(ep.Serialize())
 		if raw == nil {
 			continue
 		}
@@ -121,32 +242,60 @@ func (p *SimProber) Echo(addr packet.Addr, seq uint16) *packet.Reply {
 
 // Recorder wraps a Prober and notifies a callback after every probe, with
 // cumulative sent counts: the hook the discovery-progress curves (Fig 3)
-// are built on.
+// are built on. To preserve per-probe callback granularity, batches are
+// forwarded probe by probe; wrap the underlying prober directly where
+// batch-level concurrency matters more than the curves. The callback is
+// serialized, so a Recorder may be shared by concurrent probers.
 type Recorder struct {
 	Prober
 	// OnProbe is called after each traceroute or echo probe completes,
 	// with the total packets sent so far and the reply (nil if none).
 	OnProbe func(totalSent uint64, reply *packet.Reply)
+
+	mu sync.Mutex
 }
 
 // Probe implements Prober.
 func (r *Recorder) Probe(flowID uint16, ttl int) *packet.Reply {
 	reply := r.Prober.Probe(flowID, ttl)
-	if r.OnProbe != nil {
-		t, e := r.Prober.Sent()
-		r.OnProbe(t+e, reply)
-	}
+	r.record(reply)
 	return reply
+}
+
+// ProbeBatch implements Prober, forwarding probe by probe so OnProbe sees
+// every probe with its own cumulative count.
+func (r *Recorder) ProbeBatch(specs []Spec) []*packet.Reply {
+	replies := make([]*packet.Reply, len(specs))
+	for i, sp := range specs {
+		replies[i] = r.Probe(sp.FlowID, sp.TTL)
+	}
+	return replies
 }
 
 // Echo implements Prober.
 func (r *Recorder) Echo(addr packet.Addr, seq uint16) *packet.Reply {
 	reply := r.Prober.Echo(addr, seq)
-	if r.OnProbe != nil {
-		t, e := r.Prober.Sent()
-		r.OnProbe(t+e, reply)
-	}
+	r.record(reply)
 	return reply
+}
+
+// EchoBatch implements Prober, forwarding probe by probe.
+func (r *Recorder) EchoBatch(specs []EchoSpec) []*packet.Reply {
+	replies := make([]*packet.Reply, len(specs))
+	for i, sp := range specs {
+		replies[i] = r.Echo(sp.Addr, sp.Seq)
+	}
+	return replies
+}
+
+func (r *Recorder) record(reply *packet.Reply) {
+	if r.OnProbe == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, e := r.Prober.Sent()
+	r.OnProbe(t+e, reply)
 }
 
 // TotalSent sums trace and echo probes for a Prober.

@@ -1,0 +1,71 @@
+package survey
+
+import (
+	"reflect"
+	"testing"
+
+	"mmlpt/internal/mda"
+)
+
+// identicalUniverses builds two structurally identical universes from one
+// seed. Two instances are needed because tracing advances per-pair session
+// state (counters, clocks) inside the network, so a second run over the
+// same universe would not see a pristine network.
+func identicalUniverses(seed uint64, pairs int) (*Universe, *Universe) {
+	return Generate(GenConfig{Seed: seed, Pairs: pairs}),
+		Generate(GenConfig{Seed: seed, Pairs: pairs})
+}
+
+// TestParallelRunMatchesSerial: the worker-pool runner must produce
+// results byte-identical to the serial walk for a fixed seed — same
+// outcomes in the same order, same probe counts, same diamond records.
+func TestParallelRunMatchesSerial(t *testing.T) {
+	t.Parallel()
+	serialU, parallelU := identicalUniverses(91, 60)
+	cfg := RunConfig{Algo: AlgoMDALite, Retries: 1, Trace: mda.Config{Seed: 91}}
+
+	cfg.Workers = 1
+	serial := Run(serialU, cfg)
+	cfg.Workers = 4
+	parallel := Run(parallelU, cfg)
+
+	if len(serial.Outcomes) != len(parallel.Outcomes) {
+		t.Fatalf("outcome counts differ: %d vs %d", len(serial.Outcomes), len(parallel.Outcomes))
+	}
+	if serial.TotalProbes != parallel.TotalProbes {
+		t.Fatalf("total probes differ: %d vs %d", serial.TotalProbes, parallel.TotalProbes)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		for i := range serial.Outcomes {
+			if !reflect.DeepEqual(serial.Outcomes[i], parallel.Outcomes[i]) {
+				t.Fatalf("outcome %d (pair %d) differs between serial and parallel run",
+					i, serial.Outcomes[i].PairIndex)
+			}
+		}
+		t.Fatal("aggregate records differ between serial and parallel run")
+	}
+}
+
+// TestParallelMultilevelMatchesSerial covers the multilevel (alias
+// resolution) path, which additionally exercises the per-session IP ID
+// counters and echo probing.
+func TestParallelMultilevelMatchesSerial(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("multilevel survey is slow")
+	}
+	serialU, parallelU := identicalUniverses(17, 24)
+	cfg := RunConfig{
+		Algo: AlgoMultilevel, OnlyLB: true, Retries: 1,
+		Rounds: 3, Trace: mda.Config{Seed: 17},
+	}
+
+	cfg.Workers = 1
+	serial := Run(serialU, cfg)
+	cfg.Workers = 4
+	parallel := Run(parallelU, cfg)
+
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("multilevel results differ between serial and parallel run")
+	}
+}

@@ -15,6 +15,7 @@ func runSmallIPSurvey(t testing.TB, pairs int, seed uint64) *Result {
 }
 
 func TestReportWeightings(t *testing.T) {
+	t.Parallel()
 	res := runSmallIPSurvey(t, 250, 91)
 	m := res.diamonds(Measured)
 	d := res.diamonds(Distinct)
@@ -31,6 +32,7 @@ func TestReportWeightings(t *testing.T) {
 }
 
 func TestReportDistributionsWellFormed(t *testing.T) {
+	t.Parallel()
 	res := runSmallIPSurvey(t, 250, 92)
 	for _, w := range []Weighting{Measured, Distinct} {
 		h := res.WidthAsymmetryDist(w)
@@ -69,6 +71,7 @@ func TestReportDistributionsWellFormed(t *testing.T) {
 }
 
 func TestSummaryMentionsCounts(t *testing.T) {
+	t.Parallel()
 	res := runSmallIPSurvey(t, 150, 93)
 	s := res.Summary()
 	for _, want := range []string{"traces:", "measured", "distinct", "len2", "meshed"} {
@@ -79,6 +82,10 @@ func TestSummaryMentionsCounts(t *testing.T) {
 }
 
 func TestRouterSurveyEndToEnd(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("multilevel survey over 120 pairs is slow")
+	}
 	u := Generate(GenConfig{Seed: 94, Pairs: 120})
 	res := Run(u, RunConfig{
 		Algo: AlgoMultilevel, Retries: 1, OnlyLB: true,
@@ -133,6 +140,10 @@ func TestRouterSurveyEndToEnd(t *testing.T) {
 }
 
 func TestEffectClassificationConsistency(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("multilevel survey over 150 pairs is slow")
+	}
 	// EffectOnePath diamonds must have router-level max width 1 in span;
 	// EffectNoChange must have identical widths.
 	u := Generate(GenConfig{Seed: 95, Pairs: 150})

@@ -6,7 +6,9 @@ import (
 	"mmlpt/internal/fakeroute"
 	"mmlpt/internal/mda"
 	"mmlpt/internal/mdalite"
+	"mmlpt/internal/nprand"
 	"mmlpt/internal/packet"
+	"mmlpt/internal/par"
 	"mmlpt/internal/probe"
 	"mmlpt/internal/topo"
 )
@@ -91,24 +93,43 @@ type RunConfig struct {
 	Rounds, ProbesPerRound int
 	// Retries per probe (0 = prober default).
 	Retries int
+	// Workers is how many pairs are traced concurrently. Zero selects
+	// GOMAXPROCS; one forces a serial walk. Per-pair seeds and per-trace
+	// network sessions make every trace independent, so the aggregated
+	// result is identical for every worker count.
+	Workers int
 }
 
 // Run traces every pair of the universe and collects the survey records.
+// Pairs are traced by a pool of cfg.Workers workers and aggregated in
+// pair order, so the result is byte-identical to a serial walk.
 func Run(u *Universe, cfg RunConfig) *Result {
 	if cfg.Phi == 0 {
 		cfg.Phi = mdalite.DefaultPhi
 	}
-	res := &Result{Algo: cfg.Algo, Distinct: make(map[topo.DiamondKey]DiamondRecord)}
-	count := 0
+	// Select the pairs first, exactly as the serial walk would.
+	type job struct {
+		idx  int
+		pair Pair
+	}
+	var jobs []job
 	for i, pair := range u.Pairs {
 		if cfg.OnlyLB && !pair.HasLB {
 			continue
 		}
-		if cfg.MaxPairs > 0 && count >= cfg.MaxPairs {
+		if cfg.MaxPairs > 0 && len(jobs) >= cfg.MaxPairs {
 			break
 		}
-		count++
-		out := traceOne(u, i, pair, cfg)
+		jobs = append(jobs, job{idx: i, pair: pair})
+	}
+
+	outs := make([]TraceOutcome, len(jobs))
+	par.Do(len(jobs), cfg.Workers, func(j int) {
+		outs[j] = traceOne(u, jobs[j].idx, jobs[j].pair, cfg)
+	})
+
+	res := &Result{Algo: cfg.Algo, Distinct: make(map[topo.DiamondKey]DiamondRecord)}
+	for _, out := range outs {
 		res.TotalProbes += out.Probes
 		if len(out.Diamonds) > 0 {
 			res.LBTraces++
@@ -130,7 +151,7 @@ func traceOne(u *Universe, idx int, pair Pair, cfg RunConfig) TraceOutcome {
 		p.Retries = cfg.Retries
 	}
 	tc := cfg.Trace
-	tc.Seed = cfg.Trace.Seed ^ uint64(idx)*0x9e3779b97f4a7c15
+	tc.Seed = nprand.IndexedSeed(cfg.Trace.Seed, idx)
 
 	var (
 		r  *mda.Result

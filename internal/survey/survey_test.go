@@ -12,6 +12,7 @@ func smallUniverse(t testing.TB, pairs int, seed uint64) *Universe {
 }
 
 func TestGenerateUniverseShape(t *testing.T) {
+	t.Parallel()
 	u := smallUniverse(t, 300, 7)
 	if len(u.Pairs) != 300 {
 		t.Fatalf("pairs = %d", len(u.Pairs))
@@ -49,6 +50,7 @@ func maxFragWidth(g *topo.Graph) int {
 }
 
 func TestRunMDALiteSurveySmall(t *testing.T) {
+	t.Parallel()
 	u := smallUniverse(t, 120, 11)
 	res := Run(u, RunConfig{Algo: AlgoMDALite, Retries: 1})
 	if len(res.Outcomes) != 120 {
@@ -72,6 +74,10 @@ func TestRunMDALiteSurveySmall(t *testing.T) {
 }
 
 func TestDistinctReuseAcrossPairs(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("400-pair universe is slow")
+	}
 	u := smallUniverse(t, 400, 13)
 	res := Run(u, RunConfig{Algo: AlgoMDALite, Retries: 1})
 	ratio := float64(len(res.Measured)) / float64(len(res.Distinct))

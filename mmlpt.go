@@ -32,8 +32,10 @@ import (
 	"mmlpt/internal/fakeroute"
 	"mmlpt/internal/mda"
 	"mmlpt/internal/mdalite"
+	"mmlpt/internal/nprand"
 	"mmlpt/internal/obs"
 	"mmlpt/internal/packet"
+	"mmlpt/internal/par"
 	"mmlpt/internal/probe"
 	"mmlpt/internal/topo"
 )
@@ -110,6 +112,12 @@ type Options struct {
 	// Rounds and ProbesPerRound configure multilevel alias resolution
 	// (defaults 10 and 30).
 	Rounds, ProbesPerRound int
+	// Workers is the trace concurrency used by TraceEach (one trace per
+	// prober at a time; a single Trace call is unaffected). Zero selects
+	// GOMAXPROCS, one forces serial execution. Per-trace seeds are
+	// derived deterministically, so results are identical for every
+	// worker count.
+	Workers int
 }
 
 // Result is the outcome of a trace.
@@ -159,6 +167,24 @@ func Trace(p Prober, o Options) *Result {
 	default:
 		return &Result{IP: mdalite.Trace(p, cfg, phi)}
 	}
+}
+
+// TraceEach traces every prober concurrently with o.Workers workers and
+// returns the results in prober order. Trace i runs with seed
+// nprand.IndexedSeed(o.Seed, i) — the same per-index derivation the
+// survey runner uses — so the results are independent of the worker
+// count and identical to calling Trace serially with those seeds.
+// Probers must target distinct (source, destination) pairs or at least
+// be backed by independent state; probers from NewSimProber over any mix
+// of networks and pairs qualify.
+func TraceEach(probers []Prober, o Options) []*Result {
+	results := make([]*Result, len(probers))
+	par.Do(len(probers), o.Workers, func(i int) {
+		oi := o
+		oi.Seed = nprand.IndexedSeed(o.Seed, i)
+		results[i] = Trace(probers[i], oi)
+	})
+	return results
 }
 
 // StoppingPoints exposes the MDA stopping-point table n_k for a given
