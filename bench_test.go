@@ -7,6 +7,7 @@ package mmlpt
 // cmd/paperfig -scale); the shape assertions live in the test suites.
 
 import (
+	"path/filepath"
 	"runtime"
 	"testing"
 
@@ -36,7 +37,10 @@ func BenchmarkFig1DiamondCost(b *testing.B) {
 // missing-meshing probabilities over the survey's meshed hop pairs.
 func BenchmarkFig2MeshingDetection(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := experiments.IPSurvey(experiments.SurveyConfig{Pairs: 150, Seed: uint64(i)})
+		res, err := experiments.IPSurvey(experiments.SurveyConfig{Pairs: 150, Seed: uint64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
 		_ = res.MeshMissCDF(survey.Measured)
 		_ = res.MeshMissCDF(survey.Distinct)
 	}
@@ -136,7 +140,10 @@ func BenchmarkFig11Joint(b *testing.B) {
 func benchIPSurveyFigure(b *testing.B, extract func(*survey.Result)) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		res := experiments.IPSurvey(experiments.SurveyConfig{Pairs: 150, Seed: uint64(i)})
+		res, err := experiments.IPSurvey(experiments.SurveyConfig{Pairs: 150, Seed: uint64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
 		extract(res)
 	}
 }
@@ -170,9 +177,12 @@ func BenchmarkFig14JointBeforeAfter(b *testing.B) {
 func benchRouterSurvey(b *testing.B, extract func(*survey.Result, []survey.RouterRecord)) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		res, recs := experiments.RouterSurvey(experiments.SurveyConfig{
+		res, recs, err := experiments.RouterSurvey(experiments.SurveyConfig{
 			Pairs: 30, Seed: uint64(i), Rounds: 3,
 		})
+		if err != nil {
+			b.Fatal(err)
+		}
 		extract(res, recs)
 	}
 }
@@ -313,10 +323,44 @@ func benchSurveyWorkers(b *testing.B, workers int) {
 	u := survey.Generate(survey.GenConfig{Seed: 5, Pairs: 200})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res := survey.Run(u, survey.RunConfig{
+		res, err := survey.Run(u, survey.RunConfig{
 			Algo: survey.AlgoMDALite, Retries: 1, Workers: workers,
 			Trace: mda.Config{Seed: 5},
 		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Outcomes) != 200 {
+			b.Fatalf("outcomes = %d", len(res.Outcomes))
+		}
+	}
+	b.ReportMetric(float64(200*b.N)/b.Elapsed().Seconds(), "pairs/s")
+}
+
+// BenchmarkSurveyStreaming measures the streaming pipeline against the
+// in-memory baseline above: the same 200-pair survey with every record
+// encoded, written to a JSONL sink and folded into a record aggregate,
+// with periodic checkpoints. The delta over BenchmarkSurveyParallel is
+// the cost of incremental archival.
+func BenchmarkSurveyStreaming(b *testing.B) {
+	u := survey.Generate(survey.GenConfig{Seed: 5, Pairs: 200})
+	dir := b.TempDir()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		jsonl := survey.NewJSONLSink(filepath.Join(dir, "records.jsonl"))
+		res, err := survey.Run(u, survey.RunConfig{
+			Algo: survey.AlgoMDALite, Retries: 1,
+			Workers:    runtime.GOMAXPROCS(0),
+			Trace:      mda.Config{Seed: 5},
+			Sinks:      []survey.Sink{jsonl, survey.NewAggregateSink()},
+			Checkpoint: filepath.Join(dir, "records.ckpt"),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := jsonl.Close(); err != nil {
+			b.Fatal(err)
+		}
 		if len(res.Outcomes) != 200 {
 			b.Fatalf("outcomes = %d", len(res.Outcomes))
 		}

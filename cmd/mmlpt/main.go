@@ -14,12 +14,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"sort"
 
 	"mmlpt"
 	"mmlpt/internal/alias"
 	"mmlpt/internal/fakeroute"
+	"mmlpt/internal/obs"
 	"mmlpt/internal/packet"
 	"mmlpt/internal/topo"
 	"mmlpt/internal/traceio"
@@ -56,6 +58,11 @@ func main() {
 		runs     = flag.Int("runs", 1, "trace the scenario this many times under derived seeds, reporting variance")
 		workers  = flag.Int("workers", 0, "concurrent trace workers for -runs > 1 (0 = GOMAXPROCS; results are identical)")
 		jsonOut  = flag.Bool("json", false, "emit the result as one JSON object")
+		out      = flag.String("out", "", "with -runs > 1: stream one JSON trace record per run to this JSONL file")
+		ckptPath = flag.String("checkpoint", "", "with -runs > 1: write an atomic progress checkpoint to this file")
+		every    = flag.Int("checkpoint-every", 8, "runs between checkpoints")
+		resume   = flag.Bool("resume", false, "resume a killed -runs batch from the checkpoint")
+		progress = flag.Bool("progress", false, "with -runs > 1: report run/probe rates to stderr at the end")
 		verbose  = flag.Bool("v", false, "also print the ground truth")
 	)
 	flag.Parse()
@@ -113,35 +120,150 @@ func main() {
 
 	if *runs > 1 {
 		// Repeated tracing under derived seeds: one fresh scenario per
-		// run, traced by a worker pool. Reports per-run packet counts and
-		// the aggregate, the quick way to gauge an algorithm's cost
-		// variance on a topology.
+		// run, traced by a worker pool, each result streamed out the
+		// moment its prefix of runs has completed. With -checkpoint the
+		// batch is resumable: a killed batch re-run with -resume skips
+		// finished runs and appends the remaining records to -out,
+		// byte-identically to an uninterrupted batch.
 		if *jsonOut {
 			fmt.Fprintln(os.Stderr, "-json emits a single trace record; it cannot be combined with -runs > 1")
 			os.Exit(2)
 		}
-		probers := make([]mmlpt.Prober, *runs)
+		if *resume && *ckptPath == "" {
+			fmt.Fprintln(os.Stderr, "-resume requires -checkpoint")
+			os.Exit(2)
+		}
+		if *every <= 0 {
+			*every = 1
+		}
+		fail := func(err error) {
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+
+		// Fingerprint everything that shapes the batch, so a checkpoint
+		// from a different experiment is refused on resume.
+		h := fnv.New64a()
+		fmt.Fprintf(h, "shape=%s|topo=%s|algo=%s|seed=%d|phi=%d|bound=%g|rounds=%d|runs=%d",
+			*shape, *topoFile, *algo, *seed, *phi, *bound, *rounds, *runs)
+		hash := h.Sum64()
+
+		done := 0
+		var resumeOffset int64
+		if *resume {
+			ck, err := traceio.ReadCheckpoint(*ckptPath)
+			if err == nil {
+				if err := ck.Matches("mmlpt-runs", hash, *runs); err != nil {
+					fail(fmt.Errorf("checkpoint %s: %w", *ckptPath, err))
+				}
+				// The record log and the checkpoint travel together: a
+				// mismatched -out would either truncate the log to zero
+				// (offset unknown to the checkpoint) or silently drop the
+				// already-written head records.
+				if ck.Done > 0 && ck.Offset > 0 && *out == "" {
+					fail(fmt.Errorf("checkpoint %s references a record log; pass the original -out", *ckptPath))
+				}
+				if ck.Done > 0 && ck.Offset == 0 && *out != "" {
+					fail(fmt.Errorf("checkpoint %s was written without -out; resuming with -out would lose the first %d records", *ckptPath, ck.Done))
+				}
+				if ck.Done > 0 && *out != "" {
+					// Prove -out is the checkpoint's own record log before
+					// OpenJSONLAt truncates it.
+					fail(traceio.ValidateJSONLPrefix(*out, ck.Offset, ck.Done))
+				}
+				done, resumeOffset = ck.Done, ck.Offset
+			} else if !os.IsNotExist(err) {
+				fail(err)
+			}
+		}
+		if done >= *runs {
+			fmt.Printf("all %d runs already complete (checkpoint %s)\n", *runs, *ckptPath)
+			return
+		}
+
+		probers := make([]mmlpt.Prober, *runs-done)
 		var truth0 *mmlpt.Graph
 		for i := range probers {
-			n, truth := mmlpt.BuildScenario(*seed+uint64(i), src, dst, build)
-			if i == 0 {
+			n, truth := mmlpt.BuildScenario(*seed+uint64(done+i), src, dst, build)
+			if done+i == 0 {
 				truth0 = truth
 			}
 			probers[i] = mmlpt.NewSimProber(n, src, dst)
 		}
-		if *verbose {
+		if *verbose && truth0 != nil {
 			fmt.Printf("ground truth of run 0 (%s; later runs rebuild under seeds %d..%d):\n%s\n",
 				*shape, *seed+1, *seed+uint64(*runs-1), truth0)
 		}
+
+		var jw *traceio.JSONLWriter
+		if *out != "" {
+			var err error
+			if done > 0 {
+				jw, err = traceio.OpenJSONLAt(*out, resumeOffset)
+			} else {
+				jw, err = traceio.CreateJSONL(*out)
+			}
+			fail(err)
+		}
+		prog := obs.NewProgress()
+		prog.Begin(*runs, done)
+		count := done
+		writeCheckpoint := func() error {
+			var off int64
+			if jw != nil {
+				if err := jw.Sync(); err != nil {
+					return err
+				}
+				off = jw.Offset()
+			}
+			ck := &traceio.Checkpoint{
+				Kind: "mmlpt-runs", OptionsHash: hash, Seed: *seed,
+				Total: *runs, Done: count, Offset: off,
+			}
+			return ck.WriteAtomic(*ckptPath)
+		}
+		// A write or checkpoint failure aborts the whole batch on the
+		// spot (fail exits): the last checkpoint is durable, so the user
+		// fixes the disk and re-runs with -resume rather than waiting for
+		// the remaining traces to finish against a dead record log.
+		onTrace := func(i int, r *mmlpt.Result) {
+			fmt.Printf("run %d: probes=%d reached=%v switched=%v\n",
+				i, r.Probes(), r.IP.ReachedDst, r.IP.SwitchedToMDA)
+			prog.PairDone(r.Probes())
+			if jw != nil {
+				jt := traceio.NewJSONTrace(src, dst, *algo, r.IP)
+				if r.Multilevel != nil {
+					jt.AttachMultilevel(r.Multilevel)
+				}
+				fail(jw.Write(jt))
+				prog.RecordEmitted()
+			}
+			count++
+			if *ckptPath != "" && (count-done)%*every == 0 {
+				fail(writeCheckpoint())
+			}
+		}
+
 		results := mmlpt.TraceEach(probers, mmlpt.Options{
 			Algorithm: algorithm, Phi: *phi, Seed: *seed,
 			FailureBound: *bound, Rounds: *rounds, Workers: *workers,
+			FirstIndex: done, OnTrace: onTrace,
 		})
+		if *ckptPath != "" {
+			fail(writeCheckpoint())
+		}
+		if jw != nil {
+			fail(jw.Close())
+		}
+		if *progress {
+			fmt.Fprintln(os.Stderr, prog.Snapshot())
+		}
+
 		var total uint64
 		reached, switched := 0, 0
-		for i, r := range results {
-			fmt.Printf("run %d: probes=%d reached=%v switched=%v\n",
-				i, r.Probes(), r.IP.ReachedDst, r.IP.SwitchedToMDA)
+		for _, r := range results {
 			total += r.Probes()
 			if r.IP.ReachedDst {
 				reached++
@@ -150,8 +272,12 @@ func main() {
 				switched++
 			}
 		}
-		fmt.Printf("mean probes %.1f over %d runs, reached %d/%d, switched %d/%d\n",
-			float64(total)/float64(len(results)), len(results),
+		label := "runs"
+		if done > 0 {
+			label = fmt.Sprintf("resumed runs (%d skipped)", done)
+		}
+		fmt.Printf("mean probes %.1f over %d %s, reached %d/%d, switched %d/%d\n",
+			float64(total)/float64(len(results)), len(results), label,
 			reached, len(results), switched, len(results))
 		return
 	}

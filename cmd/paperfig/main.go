@@ -43,7 +43,11 @@ func main() {
 	var ipRes *ipSurveyCache
 	ipSurvey := func() *ipSurveyCache {
 		if ipRes == nil {
-			res := experiments.IPSurvey(experiments.SurveyConfig{Pairs: 400 * s, Seed: *seed})
+			res, err := experiments.IPSurvey(experiments.SurveyConfig{Pairs: 400 * s, Seed: *seed})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
 			ipRes = &ipSurveyCache{res}
 		}
 		return ipRes
@@ -51,9 +55,13 @@ func main() {
 	var routerRes *routerSurveyCache
 	routerSurvey := func() *routerSurveyCache {
 		if routerRes == nil {
-			res, recs := experiments.RouterSurvey(experiments.SurveyConfig{
+			res, recs, err := experiments.RouterSurvey(experiments.SurveyConfig{
 				Pairs: 120 * s, Seed: *seed, Rounds: 10,
 			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
 			routerRes = &routerSurveyCache{res: res, recs: recs}
 		}
 		return routerRes

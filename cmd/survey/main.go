@@ -2,45 +2,30 @@
 // Internet: the IP-level survey (diamond metrics, Figs 7-11) and the
 // router-level survey (alias resolution effects, Figs 12-14 and Table 3).
 //
+// Results stream: with -out each pair's record is appended to a JSONL
+// file the moment its trace completes, and with -checkpoint the run
+// writes an atomic progress file so it can be killed at any point and
+// re-run with -resume to continue where it left off, producing output
+// byte-identical to an uninterrupted run.
+//
 // Usage:
 //
-//	survey -level ip -pairs 2000
+//	survey -level ip -pairs 2000 -out results.jsonl -progress
 //	survey -level router -pairs 500 -rounds 10
+//	survey -level ip -pairs 100000 -out r.jsonl -checkpoint r.ckpt
+//	survey -level ip -pairs 100000 -out r.jsonl -checkpoint r.ckpt -resume
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"mmlpt/internal/experiments"
-	"mmlpt/internal/mda"
+	"mmlpt/internal/obs"
 	"mmlpt/internal/survey"
-	"mmlpt/internal/traceio"
 )
-
-// dumpJSONL writes one JSON record per trace outcome to path.
-func dumpJSONL(path string, res *survey.Result) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	for _, o := range res.Outcomes {
-		view := &mda.Result{
-			Graph: o.Graph, ReachedDst: o.Reached,
-			SwitchedToMDA: o.Switched, Probes: o.Probes, DstHop: -1,
-		}
-		jt := traceio.NewJSONTrace(o.Pair.Src, o.Pair.Dst, res.Algo.String(), view)
-		if o.ML != nil {
-			jt.AttachMultilevel(o.ML)
-		}
-		if err := jt.WriteJSONL(f); err != nil {
-			return err
-		}
-	}
-	return nil
-}
 
 func main() {
 	var (
@@ -51,24 +36,100 @@ func main() {
 		rounds  = flag.Int("rounds", 10, "alias rounds (router level)")
 		workers = flag.Int("workers", 0, "concurrent trace workers (0 = GOMAXPROCS, 1 = serial; results are identical)")
 		figs    = flag.Bool("figs", false, "also print full figure series")
-		jsonl   = flag.String("jsonl", "", "write per-trace JSONL records to this file")
+		out     = flag.String("out", "", "stream per-trace survey records to this JSONL file as pairs complete")
+		jsonl   = flag.String("jsonl", "", "deprecated alias for -out")
+		ckpt    = flag.String("checkpoint", "", "write an atomic progress checkpoint to this file")
+		every   = flag.Int("checkpoint-every", survey.DefaultCheckpointEvery, "records between checkpoints")
+		resume  = flag.Bool("resume", false, "resume from the checkpoint, skipping completed pairs")
+		prog    = flag.Bool("progress", false, "report pair/probe rates to stderr while running")
 	)
 	flag.Parse()
 
+	outPath := *out
+	if outPath == "" {
+		outPath = *jsonl
+	}
+	if *jsonl != "" {
+		fmt.Fprintln(os.Stderr, "warning: -jsonl is deprecated (use -out); the file now holds one survey record per line ({pair_index, has_lb, trace, diamonds}), not bare trace objects")
+	}
+	if *resume && *ckpt == "" {
+		fmt.Fprintln(os.Stderr, "-resume requires -checkpoint")
+		os.Exit(2)
+	}
+	if *resume && outPath == "" {
+		// Without the record log there is nothing to replay: the summary
+		// would silently cover only the resumed tail.
+		fmt.Fprintln(os.Stderr, "-resume requires -out (the JSONL record log is what resume replays)")
+		os.Exit(2)
+	}
+
+	cfg := experiments.SurveyConfig{
+		Pairs: *pairs, Seed: *seed, Phi: *phi, Rounds: *rounds, Workers: *workers,
+		Checkpoint: *ckpt, CheckpointEvery: *every, Resume: *resume,
+	}
+	var jsonlSink *survey.JSONLSink
+	var agg *survey.AggregateSink
+	if outPath != "" {
+		jsonlSink = survey.NewJSONLSink(outPath)
+		agg = survey.NewAggregateSink()
+		cfg.Sinks = []survey.Sink{jsonlSink, agg}
+	}
+
+	var stopProgress chan struct{}
+	if *prog {
+		cfg.Progress = obs.NewProgress()
+		stopProgress = make(chan struct{})
+		go func() {
+			t := time.NewTicker(2 * time.Second)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					fmt.Fprintln(os.Stderr, cfg.Progress.Snapshot())
+				case <-stopProgress:
+					return
+				}
+			}
+		}()
+	}
+
+	fail := func(err error) {
+		if err == nil {
+			return
+		}
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	finish := func(res *survey.Result) {
+		if stopProgress != nil {
+			close(stopProgress)
+			fmt.Fprintln(os.Stderr, cfg.Progress.Snapshot())
+		}
+		if jsonlSink != nil {
+			fail(jsonlSink.Close())
+			fmt.Printf("wrote %d trace records to %s (%d bytes)\n",
+				agg.Agg.Records, outPath, jsonlSink.Offset())
+		}
+		if *resume && agg != nil {
+			// The in-memory result covers only the pairs this process
+			// traced; the record aggregate, replayed from the JSONL log,
+			// covers the whole survey.
+			fmt.Printf("resumed: traced %d remaining pairs\n", len(res.Outcomes))
+			fmt.Print(agg.Agg.Summary())
+		} else {
+			fmt.Print(res.Summary())
+		}
+	}
+
 	switch *level {
 	case "ip":
-		res := experiments.IPSurvey(experiments.SurveyConfig{
-			Pairs: *pairs, Seed: *seed, Phi: *phi, Workers: *workers,
-		})
-		fmt.Print(res.Summary())
-		if *jsonl != "" {
-			if err := dumpJSONL(*jsonl, res); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			fmt.Printf("wrote %d trace records to %s\n", len(res.Outcomes), *jsonl)
-		}
+		res, err := experiments.IPSurvey(cfg)
+		fail(err)
+		finish(res)
 		if *figs {
+			if *resume {
+				fmt.Fprintln(os.Stderr, "warning: -figs on a resumed run covers only the pairs traced in this process")
+			}
 			fmt.Println(experiments.FormatFig2(res))
 			fmt.Println(experiments.FormatFig7(res))
 			fmt.Println(experiments.FormatFig8(res))
@@ -77,19 +138,17 @@ func main() {
 			fmt.Println(experiments.FormatFig11(res))
 		}
 	case "router":
-		res, recs := experiments.RouterSurvey(experiments.SurveyConfig{
-			Pairs: *pairs, Seed: *seed, Phi: *phi, Rounds: *rounds, Workers: *workers,
-		})
-		fmt.Print(res.Summary())
-		if *jsonl != "" {
-			if err := dumpJSONL(*jsonl, res); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			fmt.Printf("wrote %d trace records to %s\n", len(res.Outcomes), *jsonl)
+		res, recs, err := experiments.RouterSurvey(cfg)
+		fail(err)
+		finish(res)
+		if *resume {
+			fmt.Fprintln(os.Stderr, "warning: Table 3 on a resumed run covers only the pairs traced in this process")
 		}
 		fmt.Println(experiments.FormatTable3(res, recs))
 		if *figs {
+			if *resume {
+				fmt.Fprintln(os.Stderr, "warning: -figs on a resumed run covers only the pairs traced in this process")
+			}
 			fmt.Println(experiments.FormatFig12(recs))
 			fmt.Println(experiments.FormatFig13(res, recs))
 			fmt.Println(experiments.FormatFig14(res, recs))

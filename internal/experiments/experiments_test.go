@@ -173,7 +173,10 @@ func TestIPSurveySmallShapes(t *testing.T) {
 	// Population fractions are popularity-weighted and need a few hundred
 	// distinct diamonds before they stabilize; 600 pairs keeps the bands
 	// meaningful without slowing the suite.
-	res := IPSurvey(SurveyConfig{Pairs: 600, Seed: 33})
+	res, err := IPSurvey(SurveyConfig{Pairs: 600, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.Measured) == 0 {
 		t.Fatal("no diamonds")
 	}

@@ -77,7 +77,10 @@ func TestFormatTable2(t *testing.T) {
 
 func TestFormatSurveyFigures(t *testing.T) {
 	t.Parallel()
-	res := IPSurvey(SurveyConfig{Pairs: 120, Seed: 2})
+	res, err := IPSurvey(SurveyConfig{Pairs: 120, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	checks := []struct {
 		out  string
 		want string
@@ -101,7 +104,10 @@ func TestFormatSurveyFigures(t *testing.T) {
 
 func TestFormatRouterFigures(t *testing.T) {
 	t.Parallel()
-	res, recs := RouterSurvey(SurveyConfig{Pairs: 40, Seed: 3, Rounds: 2})
+	res, recs, err := RouterSurvey(SurveyConfig{Pairs: 40, Seed: 3, Rounds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if s := FormatFig12(recs); !strings.Contains(s, "# Fig 12") {
 		t.Fatal("fig 12 header")
 	}

@@ -6,6 +6,7 @@ import (
 
 	"mmlpt/internal/core"
 	"mmlpt/internal/mda"
+	"mmlpt/internal/obs"
 	"mmlpt/internal/stats"
 	"mmlpt/internal/survey"
 )
@@ -19,25 +20,39 @@ type SurveyConfig struct {
 	// Workers is the trace concurrency (0 = GOMAXPROCS, 1 = serial).
 	// Results are identical for every worker count.
 	Workers int
+	// Sinks, Checkpoint, CheckpointEvery, Resume and Progress thread the
+	// streaming pipeline through to survey.Run; all optional.
+	Sinks           []survey.Sink
+	Checkpoint      string
+	CheckpointEvery int
+	Resume          bool
+	Progress        *obs.Progress
+}
+
+func (cfg SurveyConfig) runConfig(algo survey.Algo) survey.RunConfig {
+	return survey.RunConfig{
+		Algo: algo, Phi: cfg.Phi, Retries: 1,
+		Workers: cfg.Workers,
+		Trace:   mda.Config{Seed: cfg.Seed},
+		Sinks:   cfg.Sinks, Checkpoint: cfg.Checkpoint,
+		CheckpointEvery: cfg.CheckpointEvery, Resume: cfg.Resume,
+		Progress: cfg.Progress,
+	}
 }
 
 // IPSurvey runs the Sec 5.1 IP-level survey with the MDA (as the paper
 // did) and returns the result for figure extraction.
-func IPSurvey(cfg SurveyConfig) *survey.Result {
+func IPSurvey(cfg SurveyConfig) (*survey.Result, error) {
 	if cfg.Pairs == 0 {
 		cfg.Pairs = 400
 	}
 	u := survey.Generate(survey.GenConfig{Seed: cfg.Seed ^ 0x1b5e7, Pairs: cfg.Pairs})
-	return survey.Run(u, survey.RunConfig{
-		Algo: survey.AlgoMDA, Phi: cfg.Phi, Retries: 1,
-		Workers: cfg.Workers,
-		Trace:   mda.Config{Seed: cfg.Seed},
-	})
+	return survey.Run(u, cfg.runConfig(survey.AlgoMDA))
 }
 
 // RouterSurvey runs the Sec 5.2 router-level survey with the multilevel
 // tracer over the load-balanced pairs.
-func RouterSurvey(cfg SurveyConfig) (*survey.Result, []survey.RouterRecord) {
+func RouterSurvey(cfg SurveyConfig) (*survey.Result, []survey.RouterRecord, error) {
 	if cfg.Pairs == 0 {
 		cfg.Pairs = 200
 	}
@@ -45,13 +60,14 @@ func RouterSurvey(cfg SurveyConfig) (*survey.Result, []survey.RouterRecord) {
 		cfg.Rounds = 10
 	}
 	u := survey.Generate(survey.GenConfig{Seed: cfg.Seed ^ 0x1b5e8, Pairs: cfg.Pairs})
-	res := survey.Run(u, survey.RunConfig{
-		Algo: survey.AlgoMultilevel, Phi: cfg.Phi, Retries: 1,
-		OnlyLB: true, Rounds: cfg.Rounds,
-		Workers: cfg.Workers,
-		Trace:   mda.Config{Seed: cfg.Seed},
-	})
-	return res, survey.RouterView(res)
+	rc := cfg.runConfig(survey.AlgoMultilevel)
+	rc.OnlyLB = true
+	rc.Rounds = cfg.Rounds
+	res, err := survey.Run(u, rc)
+	if err != nil {
+		return res, nil, err
+	}
+	return res, survey.RouterView(res), nil
 }
 
 // FormatFig2 renders the missing-meshing probability CDFs.

@@ -1,6 +1,8 @@
 package mda
 
 import (
+	"sort"
+
 	"mmlpt/internal/nprand"
 	"mmlpt/internal/obs"
 	"mmlpt/internal/packet"
@@ -233,9 +235,19 @@ func (s *Session) addFlow(v topo.VertexID, f uint16) {
 }
 
 // AdoptStarFlows assigns every no-reply flow at hop h to the star vertex
-// star, so node control can operate through silent hops.
+// star, so node control can operate through silent hops. The flows are
+// adopted in sorted order: they land in the star's flow list, whose
+// order later drives flow selection (flowThrough) and therefore which
+// vertices the next hop discovers first — ranging over the map directly
+// would make the discovered vertex order differ from run to run.
 func (s *Session) AdoptStarFlows(h int, star topo.VertexID) {
-	for f := range s.hopNoReply(h) {
+	noReply := s.hopNoReply(h)
+	flows := make([]uint16, 0, len(noReply))
+	for f := range noReply {
+		flows = append(flows, f)
+	}
+	sort.Slice(flows, func(i, j int) bool { return flows[i] < flows[j] })
+	for _, f := range flows {
 		s.hopTable(h)[f] = star
 		s.addFlow(star, f)
 	}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Progress is a set of atomic counters a streaming survey run updates as
+// pairs complete, safe to read concurrently from a reporting goroutine.
+// It observes the run without influencing it: rates are wall-clock
+// derived and never feed back into tracing decisions, so determinism is
+// untouched.
+type Progress struct {
+	total   atomic.Int64
+	done    atomic.Int64
+	skipped atomic.Int64
+	probes  atomic.Uint64
+	records atomic.Int64
+	// startNanos anchors the rate computation at Begin time.
+	startNanos atomic.Int64
+}
+
+// NewProgress returns a zeroed progress tracker.
+func NewProgress() *Progress {
+	p := &Progress{}
+	p.startNanos.Store(time.Now().UnixNano())
+	return p
+}
+
+// Begin (re)anchors the tracker for a run of total pairs of which
+// skipped were already completed by an earlier, checkpointed run. Rates
+// cover only the pairs this process traces.
+func (p *Progress) Begin(total, skipped int) {
+	p.total.Store(int64(total))
+	p.skipped.Store(int64(skipped))
+	p.done.Store(int64(skipped))
+	p.probes.Store(0)
+	p.records.Store(0)
+	p.startNanos.Store(time.Now().UnixNano())
+}
+
+// PairDone records one completed pair and the probes it cost.
+func (p *Progress) PairDone(probes uint64) {
+	p.done.Add(1)
+	p.probes.Add(probes)
+}
+
+// RecordEmitted counts one record handed to the sinks.
+func (p *Progress) RecordEmitted() { p.records.Add(1) }
+
+// Snapshot is a consistent-enough point-in-time view for reporting.
+type Snapshot struct {
+	Done, Total, Skipped int
+	Probes               uint64
+	Records              int
+	Elapsed              time.Duration
+	// PairsPerSec and ProbesPerSec are rates over the pairs this process
+	// traced (checkpoint-skipped pairs excluded).
+	PairsPerSec, ProbesPerSec float64
+}
+
+// Snapshot reads the counters.
+func (p *Progress) Snapshot() Snapshot {
+	s := Snapshot{
+		Done:    int(p.done.Load()),
+		Total:   int(p.total.Load()),
+		Skipped: int(p.skipped.Load()),
+		Probes:  p.probes.Load(),
+		Records: int(p.records.Load()),
+		Elapsed: time.Duration(time.Now().UnixNano() - p.startNanos.Load()),
+	}
+	if secs := s.Elapsed.Seconds(); secs > 0 {
+		s.PairsPerSec = float64(s.Done-s.Skipped) / secs
+		s.ProbesPerSec = float64(s.Probes) / secs
+	}
+	return s
+}
+
+// String renders a one-line status suitable for periodic stderr output.
+func (s Snapshot) String() string {
+	pct := 0.0
+	if s.Total > 0 {
+		pct = 100 * float64(s.Done) / float64(s.Total)
+	}
+	line := fmt.Sprintf("%d/%d pairs (%.1f%%), %d probes, %.1f pairs/s, %.0f probes/s",
+		s.Done, s.Total, pct, s.Probes, s.PairsPerSec, s.ProbesPerSec)
+	if s.Skipped > 0 {
+		line += fmt.Sprintf(" (%d resumed from checkpoint)", s.Skipped)
+	}
+	return line
+}

@@ -1,8 +1,9 @@
-// Package par provides the one concurrency primitive the probing engine
-// needs: an order-preserving indexed worker pool. Callers partition work
-// by index (one trace per pair, one result slot per prober), so the
-// output of a parallel run is identical to a serial walk by
-// construction.
+// Package par provides the concurrency primitives the probing engine
+// needs: an order-preserving indexed worker pool (Do) and its streaming
+// variant (Ordered), which hands each result to a collector in index
+// order the moment its prefix is complete. Callers partition work by
+// index (one trace per pair, one result slot per prober), so the output
+// of a parallel run is identical to a serial walk by construction.
 package par
 
 import (
@@ -43,4 +44,58 @@ func Do(n, workers int, fn func(i int)) {
 	}
 	close(feed)
 	wg.Wait()
+}
+
+// Ordered runs work(i) for every i in [0, n) on a Do worker pool and
+// calls emit(i, v) for each result strictly in index order, on the
+// calling goroutine, as soon as all earlier indices have been emitted.
+// Workers run ahead of the collector: a slow index buffers later results
+// until it completes. With one worker the whole pipeline degenerates to
+// a serial work/emit loop. emit needs no synchronization of its own.
+func Ordered[T any](n, workers int, work func(i int) T, emit func(i int, v T)) {
+	if n <= 0 {
+		return
+	}
+	// Normalize exactly as Do does, and before sizing the results
+	// channel: the default workers=0 must buffer GOMAXPROCS results (an
+	// unbuffered channel would serialize every worker-to-collector
+	// handoff behind the emit path), and negative values select
+	// GOMAXPROCS rather than panicking in make(chan).
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			emit(i, work(i))
+		}
+		return
+	}
+	type item struct {
+		i int
+		v T
+	}
+	results := make(chan item, workers)
+	go func() {
+		Do(n, workers, func(i int) {
+			results <- item{i, work(i)}
+		})
+		close(results)
+	}()
+	pending := make(map[int]T)
+	next := 0
+	for it := range results {
+		pending[it.i] = it.v
+		for {
+			v, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			emit(next, v)
+			next++
+		}
+	}
 }

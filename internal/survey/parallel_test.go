@@ -25,9 +25,15 @@ func TestParallelRunMatchesSerial(t *testing.T) {
 	cfg := RunConfig{Algo: AlgoMDALite, Retries: 1, Trace: mda.Config{Seed: 91}}
 
 	cfg.Workers = 1
-	serial := Run(serialU, cfg)
+	serial, err := Run(serialU, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	cfg.Workers = 4
-	parallel := Run(parallelU, cfg)
+	parallel, err := Run(parallelU, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	if len(serial.Outcomes) != len(parallel.Outcomes) {
 		t.Fatalf("outcome counts differ: %d vs %d", len(serial.Outcomes), len(parallel.Outcomes))
@@ -46,6 +52,40 @@ func TestParallelRunMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestParallelMDAMatchesSerial covers the classic MDA, whose star-hop
+// handling (AdoptStarFlows) once leaked map iteration order into the
+// discovered vertex order: pair 136 of this universe has a silent hop
+// inside a wide diamond and came out differently ordered from run to
+// run. The full-MDA survey must be deep-equal across worker counts.
+func TestParallelMDAMatchesSerial(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("200-pair MDA survey is slow")
+	}
+	serialU, parallelU := identicalUniverses(1^0x1b5e7, 200)
+	cfg := RunConfig{Algo: AlgoMDA, Retries: 1, Trace: mda.Config{Seed: 1}}
+
+	cfg.Workers = 1
+	serial, err := Run(serialU, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	parallel, err := Run(parallelU, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		for i := range serial.Outcomes {
+			if !reflect.DeepEqual(serial.Outcomes[i], parallel.Outcomes[i]) {
+				t.Fatalf("outcome %d (pair %d) differs between serial and parallel MDA run",
+					i, serial.Outcomes[i].PairIndex)
+			}
+		}
+		t.Fatal("aggregate records differ between serial and parallel MDA run")
+	}
+}
+
 // TestParallelMultilevelMatchesSerial covers the multilevel (alias
 // resolution) path, which additionally exercises the per-session IP ID
 // counters and echo probing.
@@ -61,9 +101,15 @@ func TestParallelMultilevelMatchesSerial(t *testing.T) {
 	}
 
 	cfg.Workers = 1
-	serial := Run(serialU, cfg)
+	serial, err := Run(serialU, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	cfg.Workers = 4
-	parallel := Run(parallelU, cfg)
+	parallel, err := Run(parallelU, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	if !reflect.DeepEqual(serial, parallel) {
 		t.Fatal("multilevel results differ between serial and parallel run")

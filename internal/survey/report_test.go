@@ -11,7 +11,11 @@ import (
 func runSmallIPSurvey(t testing.TB, pairs int, seed uint64) *Result {
 	t.Helper()
 	u := Generate(GenConfig{Seed: seed, Pairs: pairs})
-	return Run(u, RunConfig{Algo: AlgoMDA, Retries: 1, Trace: mda.Config{Seed: seed}})
+	res, err := Run(u, RunConfig{Algo: AlgoMDA, Retries: 1, Trace: mda.Config{Seed: seed}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
 }
 
 func TestReportWeightings(t *testing.T) {
@@ -87,10 +91,13 @@ func TestRouterSurveyEndToEnd(t *testing.T) {
 		t.Skip("multilevel survey over 120 pairs is slow")
 	}
 	u := Generate(GenConfig{Seed: 94, Pairs: 120})
-	res := Run(u, RunConfig{
+	res, err := Run(u, RunConfig{
 		Algo: AlgoMultilevel, Retries: 1, OnlyLB: true,
 		Rounds: 3, Trace: mda.Config{Seed: 94},
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	recs := RouterView(res)
 	if len(recs) == 0 {
 		t.Fatal("no router records")
@@ -147,10 +154,13 @@ func TestEffectClassificationConsistency(t *testing.T) {
 	// EffectOnePath diamonds must have router-level max width 1 in span;
 	// EffectNoChange must have identical widths.
 	u := Generate(GenConfig{Seed: 95, Pairs: 150})
-	res := Run(u, RunConfig{
+	res, err := Run(u, RunConfig{
 		Algo: AlgoMultilevel, Retries: 1, OnlyLB: true,
 		Rounds: 3, Trace: mda.Config{Seed: 95},
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, o := range res.Outcomes {
 		if o.ML == nil {
 			continue

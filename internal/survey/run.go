@@ -1,16 +1,23 @@
 package survey
 
 import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"sync/atomic"
+
 	"mmlpt/internal/alias"
 	"mmlpt/internal/core"
 	"mmlpt/internal/fakeroute"
 	"mmlpt/internal/mda"
 	"mmlpt/internal/mdalite"
 	"mmlpt/internal/nprand"
+	"mmlpt/internal/obs"
 	"mmlpt/internal/packet"
 	"mmlpt/internal/par"
 	"mmlpt/internal/probe"
 	"mmlpt/internal/topo"
+	"mmlpt/internal/traceio"
 )
 
 // Algo selects the tracing algorithm for a survey run.
@@ -98,20 +105,44 @@ type RunConfig struct {
 	// network sessions make every trace independent, so the aggregated
 	// result is identical for every worker count.
 	Workers int
+
+	// Sinks receive each pair's record, in pair order, the moment its
+	// contiguous prefix of traces has completed. Nil keeps the survey a
+	// pure in-memory aggregation.
+	Sinks []Sink
+	// Checkpoint names a progress file written atomically every
+	// CheckpointEvery records (default 64), making the run resumable
+	// after a kill. Empty disables checkpointing.
+	Checkpoint      string
+	CheckpointEvery int
+	// Resume loads the checkpoint, truncates the first JSONLSink among
+	// Sinks back to the durable offset, replays its records into the
+	// remaining sinks, and traces only the pairs not yet completed. A
+	// missing checkpoint file degrades to a fresh run.
+	Resume bool
+	// Progress, when non-nil, is updated as pairs complete; purely
+	// observational.
+	Progress *obs.Progress
 }
 
-// Run traces every pair of the universe and collects the survey records.
-// Pairs are traced by a pool of cfg.Workers workers and aggregated in
-// pair order, so the result is byte-identical to a serial walk.
-func Run(u *Universe, cfg RunConfig) *Result {
-	if cfg.Phi == 0 {
-		cfg.Phi = mdalite.DefaultPhi
-	}
-	// Select the pairs first, exactly as the serial walk would.
-	type job struct {
-		idx  int
-		pair Pair
-	}
+// DefaultCheckpointEvery is the record interval between checkpoints when
+// RunConfig.CheckpointEvery is zero.
+const DefaultCheckpointEvery = 64
+
+// checkpointKind tags survey checkpoints so other tools' files are
+// rejected on resume.
+const checkpointKind = "survey"
+
+// job is one selected pair to trace.
+type job struct {
+	idx  int
+	pair Pair
+}
+
+// selectJobs picks the pairs a run will trace, exactly as the serial
+// walk always has. The selection is deterministic, which is what lets a
+// checkpoint identify the completed set by a single count.
+func selectJobs(u *Universe, cfg RunConfig) []job {
 	var jobs []job
 	for i, pair := range u.Pairs {
 		if cfg.OnlyLB && !pair.HasLB {
@@ -122,14 +153,118 @@ func Run(u *Universe, cfg RunConfig) *Result {
 		}
 		jobs = append(jobs, job{idx: i, pair: pair})
 	}
+	return jobs
+}
 
-	outs := make([]TraceOutcome, len(jobs))
-	par.Do(len(jobs), cfg.Workers, func(j int) {
-		outs[j] = traceOne(u, jobs[j].idx, jobs[j].pair, cfg)
-	})
+// optionsHash fingerprints every input that determines which pairs are
+// traced and what their records contain. Worker count is deliberately
+// excluded: results are identical for every worker count.
+func optionsHash(u *Universe, cfg RunConfig) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "gen=%+v|algo=%d|seed=%d|maxttl=%d|stars=%d|stop=%v|reuse=%t|phi=%d|maxpairs=%d|onlylb=%t|rounds=%d|ppr=%d|retries=%d",
+		u.Cfg, cfg.Algo, cfg.Trace.Seed, cfg.Trace.MaxTTL,
+		cfg.Trace.MaxConsecutiveStars, cfg.Trace.Stop, cfg.Trace.DisableFlowReuse,
+		cfg.Phi, cfg.MaxPairs, cfg.OnlyLB, cfg.Rounds, cfg.ProbesPerRound, cfg.Retries)
+	return h.Sum64()
+}
+
+// Run traces every pair of the universe and collects the survey records.
+// Pairs are traced by a pool of cfg.Workers workers; each outcome is
+// aggregated — and streamed to cfg.Sinks — in pair order the moment its
+// contiguous prefix of traces has completed, so the result is
+// byte-identical to a serial walk while a large survey's records leave
+// the process incrementally. With checkpointing enabled the run can be
+// killed and resumed (cfg.Resume); the returned Result then covers only
+// the pairs this call traced, while sinks (rebuilt by replaying the
+// record log) cover the whole survey.
+func Run(u *Universe, cfg RunConfig) (*Result, error) {
+	if cfg.Phi == 0 {
+		cfg.Phi = mdalite.DefaultPhi
+	}
+	jobs := selectJobs(u, cfg)
+	total := len(jobs)
+	hash := optionsHash(u, cfg)
+
+	// The first JSONL sink is the record log: the durable stream the
+	// checkpoint's byte offset refers to and resume replays from.
+	var log *JSONLSink
+	var others []Sink
+	for _, s := range cfg.Sinks {
+		if j, ok := s.(*JSONLSink); ok && log == nil {
+			log = j
+			continue
+		}
+		others = append(others, s)
+	}
+
+	start := 0
+	if cfg.Checkpoint != "" && cfg.Resume {
+		ck, err := traceio.ReadCheckpoint(cfg.Checkpoint)
+		switch {
+		case err == nil:
+			if err := ck.Matches(checkpointKind, hash, total); err != nil {
+				return nil, fmt.Errorf("survey: %s: %w", cfg.Checkpoint, err)
+			}
+			start = ck.Done
+			if start > 0 {
+				if log == nil && len(cfg.Sinks) > 0 {
+					return nil, fmt.Errorf("survey: resuming with sinks requires a JSONLSink record log")
+				}
+				if log != nil {
+					// Prove the log matches the checkpoint BEFORE
+					// truncating: a wrong -out path, or a checkpoint from
+					// a run without a record log (offset 0), must not
+					// destroy the file it points at.
+					if err := traceio.ValidateJSONLPrefix(log.Path(), ck.Offset, start); err != nil {
+						return nil, fmt.Errorf("survey: cannot resume onto %s: %w", log.Path(), err)
+					}
+					if err := log.resumeAt(ck.Offset); err != nil {
+						return nil, err
+					}
+					n, err := ReplayJSONL(log.Path(), others...)
+					if err != nil {
+						return nil, fmt.Errorf("survey: replaying %s: %w", log.Path(), err)
+					}
+					if n != start {
+						return nil, fmt.Errorf("survey: record log %s holds %d records, checkpoint says %d", log.Path(), n, start)
+					}
+				}
+			}
+		case os.IsNotExist(err):
+			// No checkpoint yet: a fresh run that will create one.
+		default:
+			return nil, err
+		}
+	}
+	if cfg.Progress != nil {
+		cfg.Progress.Begin(total, start)
+	}
+
+	every := cfg.CheckpointEvery
+	if every <= 0 {
+		every = DefaultCheckpointEvery
+	}
 
 	res := &Result{Algo: cfg.Algo, Distinct: make(map[topo.DiamondKey]DiamondRecord)}
-	for _, out := range outs {
+	var (
+		stopped atomic.Bool
+		runErr  error
+		emitted int
+	)
+	streaming := len(cfg.Sinks) > 0 || cfg.Checkpoint != ""
+	skipped := TraceOutcome{PairIndex: -1}
+	par.Ordered(total-start, cfg.Workers, func(k int) TraceOutcome {
+		if stopped.Load() {
+			// A sink or checkpoint error already aborted the run; drain
+			// the remaining indices without tracing.
+			return skipped
+		}
+		j := jobs[start+k]
+		return traceOne(u, j.idx, j.pair, cfg)
+	}, func(k int, out TraceOutcome) {
+		if runErr != nil || out.PairIndex < 0 {
+			return
+		}
 		res.TotalProbes += out.Probes
 		if len(out.Diamonds) > 0 {
 			res.LBTraces++
@@ -141,8 +276,64 @@ func Run(u *Universe, cfg RunConfig) *Result {
 			}
 		}
 		res.Outcomes = append(res.Outcomes, out)
+		if cfg.Progress != nil {
+			cfg.Progress.PairDone(out.Probes)
+		}
+		if !streaming {
+			return
+		}
+		if len(cfg.Sinks) > 0 {
+			rec := NewRecord(cfg.Algo, out)
+			for _, s := range cfg.Sinks {
+				if err := s.Emit(rec); err != nil {
+					runErr = err
+					stopped.Store(true)
+					return
+				}
+			}
+			if cfg.Progress != nil {
+				cfg.Progress.RecordEmitted()
+			}
+		}
+		emitted++
+		if cfg.Checkpoint != "" && emitted%every == 0 {
+			if err := writeCheckpoint(cfg, hash, total, start+emitted, log); err != nil {
+				runErr = err
+				stopped.Store(true)
+			}
+		}
+	})
+	if runErr != nil {
+		return res, runErr
 	}
-	return res
+	if cfg.Checkpoint != "" {
+		if err := writeCheckpoint(cfg, hash, total, start+emitted, log); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// writeCheckpoint makes the sinks durable, then atomically replaces the
+// checkpoint file. Ordering matters: the record log must be fsynced
+// before a checkpoint names its offset, so the offset never points past
+// durable bytes.
+func writeCheckpoint(cfg RunConfig, hash uint64, total, done int, log *JSONLSink) error {
+	for _, s := range cfg.Sinks {
+		if f, ok := s.(Flusher); ok {
+			if err := f.Flush(); err != nil {
+				return err
+			}
+		}
+	}
+	ck := &traceio.Checkpoint{
+		Kind: checkpointKind, OptionsHash: hash, Seed: cfg.Trace.Seed,
+		Total: total, Done: done,
+	}
+	if log != nil {
+		ck.Offset = log.Offset()
+	}
+	return ck.WriteAtomic(cfg.Checkpoint)
 }
 
 func traceOne(u *Universe, idx int, pair Pair, cfg RunConfig) TraceOutcome {

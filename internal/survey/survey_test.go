@@ -52,7 +52,10 @@ func maxFragWidth(g *topo.Graph) int {
 func TestRunMDALiteSurveySmall(t *testing.T) {
 	t.Parallel()
 	u := smallUniverse(t, 120, 11)
-	res := Run(u, RunConfig{Algo: AlgoMDALite, Retries: 1})
+	res, err := Run(u, RunConfig{Algo: AlgoMDALite, Retries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.Outcomes) != 120 {
 		t.Fatalf("outcomes = %d", len(res.Outcomes))
 	}
@@ -79,7 +82,10 @@ func TestDistinctReuseAcrossPairs(t *testing.T) {
 		t.Skip("400-pair universe is slow")
 	}
 	u := smallUniverse(t, 400, 13)
-	res := Run(u, RunConfig{Algo: AlgoMDALite, Retries: 1})
+	res, err := Run(u, RunConfig{Algo: AlgoMDALite, Retries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ratio := float64(len(res.Measured)) / float64(len(res.Distinct))
 	if ratio < 1.5 {
 		t.Fatalf("measured/distinct reuse ratio %.2f too low for a shared-core internet", ratio)

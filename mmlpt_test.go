@@ -138,3 +138,46 @@ func TestPublicAPISwitchOver(t *testing.T) {
 		t.Fatal("meshed topology did not force a switch")
 	}
 }
+
+// TestPublicAPITraceEachStreams: OnTrace must observe every result in
+// index order while TraceEach runs, and FirstIndex must shift the seed
+// derivation so a resumed tail reproduces the full run's results.
+func TestPublicAPITraceEachStreams(t *testing.T) {
+	const runs = 8
+	build := func() []Prober {
+		ps := make([]Prober, runs)
+		for i := range ps {
+			net, _ := BuildScenario(uint64(100+i), itSrc, itDst, Fig1UnmeshedDiamond)
+			ps[i] = NewSimProber(net, itSrc, itDst)
+		}
+		return ps
+	}
+	var seen []int
+	opts := Options{Seed: 7, Workers: 4, OnTrace: func(i int, r *Result) {
+		if r == nil || !r.IP.ReachedDst {
+			t.Fatalf("trace %d did not reach the destination", i)
+		}
+		seen = append(seen, i)
+	}}
+	full := TraceEach(build(), opts)
+	for i, want := range seen {
+		if want != i {
+			t.Fatalf("OnTrace order %v", seen)
+		}
+	}
+	if len(seen) != runs {
+		t.Fatalf("OnTrace saw %d of %d traces", len(seen), runs)
+	}
+
+	// Retrace only the tail with FirstIndex set: probe counts must match
+	// the full run's tail exactly (same derived seeds, fresh networks).
+	const skip = 3
+	tailProbers := build()[skip:]
+	tailOpts := Options{Seed: 7, Workers: 2, FirstIndex: skip}
+	tail := TraceEach(tailProbers, tailOpts)
+	for i, r := range tail {
+		if got, want := r.Probes(), full[skip+i].Probes(); got != want {
+			t.Fatalf("resumed trace %d sent %d probes, full run sent %d", skip+i, got, want)
+		}
+	}
+}
