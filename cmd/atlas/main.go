@@ -1,0 +1,74 @@
+// Command atlas answers queries over a cross-trace topology atlas
+// snapshot, the file cmd/survey -atlas writes: the merged multilevel
+// view of every traced pair, with aggregated router identities, the
+// cross-pair diamond census, and per-address provenance.
+//
+// Usage:
+//
+//	atlas -stats internet.atlas            # counts + aggregated router-size CDF (Fig 12, atlas variant)
+//	atlas -routers internet.atlas          # every aggregated router, one line each
+//	atlas -census internet.atlas           # distinct diamonds across all pairs
+//	atlas -addr 10.0.0.7 internet.atlas    # which pairs saw the address, at which hops
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mmlpt/internal/atlas"
+	"mmlpt/internal/experiments"
+	"mmlpt/internal/packet"
+)
+
+func main() {
+	var (
+		statsQ  = flag.Bool("stats", false, "print merged-content stats and the aggregated router-size CDF")
+		routers = flag.Bool("routers", false, "print every aggregated router (alias component)")
+		census  = flag.Bool("census", false, "print the cross-pair diamond census")
+		addrQ   = flag.String("addr", "", "print the provenance of one address (pairs and hops that saw it)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: atlas [-stats|-routers|-census|-addr A.B.C.D] snapshot.atlas")
+		os.Exit(2)
+	}
+	a, err := atlas.Load(flag.Arg(0), atlas.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *statsQ || (!*routers && !*census && *addrQ == "") {
+		fmt.Print(experiments.FormatFig12Atlas(a))
+	}
+	if *routers {
+		for _, g := range a.Routers() {
+			fmt.Printf("router[%d]", len(g))
+			for _, addr := range g {
+				fmt.Printf(" %s", addr)
+			}
+			fmt.Println()
+		}
+	}
+	if *census {
+		fmt.Println("# div conv encounters pairs max_width max_length")
+		for _, d := range a.Census() {
+			fmt.Printf("%s %s %d %d %d %d\n", d.Div, d.Conv, d.Count, len(d.Pairs), d.MaxWidth, d.MaxLength)
+		}
+	}
+	if *addrQ != "" {
+		addr, err := packet.ParseAddr(*addrQ)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		obs, ok := a.Provenance(addr)
+		if !ok {
+			fmt.Printf("%s: not in atlas\n", addr)
+			os.Exit(1)
+		}
+		for _, o := range obs {
+			fmt.Printf("%s pair %d hop %d\n", addr, o.Pair, o.Hop)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: mmlpt
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSurveySerial 	       1	  72867588 ns/op	      2745 pairs/s
+BenchmarkSurveyParallel-8 	       2	  20114452 ns/op	     12632 B/op	     220 allocs/op
+PASS
+ok  	mmlpt	0.081s
+pkg: mmlpt/internal/packet
+BenchmarkSerializeProbe 	       1	       312 ns/op
+ok  	mmlpt/internal/packet	0.002s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	got, err := Parse(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Result{
+		{Pkg: "mmlpt", Name: "BenchmarkSurveySerial", Iterations: 1,
+			NsPerOp: 72867588, Extra: map[string]float64{"pairs/s": 2745}},
+		{Pkg: "mmlpt", Name: "BenchmarkSurveyParallel-8", Iterations: 2,
+			NsPerOp: 20114452, BytesPerOp: 12632, AllocsPerOp: 220},
+		{Pkg: "mmlpt/internal/packet", Name: "BenchmarkSerializeProbe", Iterations: 1,
+			NsPerOp: 312},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Parse:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestParseSkipsNonBenchLines(t *testing.T) {
+	got, err := Parse(strings.NewReader("PASS\nok mmlpt 0.1s\n?   mmlpt/cmd [no test files]\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("Parse found %d results in non-bench output", len(got))
+	}
+}
+
+func TestParseRejectsCorruptValues(t *testing.T) {
+	if _, err := Parse(strings.NewReader("BenchmarkX 1 oops ns/op\n")); err == nil {
+		t.Fatal("corrupt value must error")
+	}
+}

@@ -8,10 +8,15 @@
 // re-run with -resume to continue where it left off, producing output
 // byte-identical to an uninterrupted run.
 //
+// With -atlas every trace is additionally merged into a cross-trace
+// topology atlas (internal/atlas) whose snapshot is written atomically
+// at the end of the run; cmd/atlas answers queries over such snapshots.
+//
 // Usage:
 //
 //	survey -level ip -pairs 2000 -out results.jsonl -progress
 //	survey -level router -pairs 500 -rounds 10
+//	survey -level router -pairs 500 -atlas internet.atlas
 //	survey -level ip -pairs 100000 -out r.jsonl -checkpoint r.ckpt
 //	survey -level ip -pairs 100000 -out r.jsonl -checkpoint r.ckpt -resume
 package main
@@ -22,26 +27,30 @@ import (
 	"os"
 	"time"
 
+	"mmlpt/internal/atlas"
 	"mmlpt/internal/experiments"
 	"mmlpt/internal/obs"
 	"mmlpt/internal/survey"
+	"mmlpt/internal/traceio"
 )
 
 func main() {
 	var (
-		level   = flag.String("level", "ip", "survey level: ip or router")
-		pairs   = flag.Int("pairs", 1000, "number of source-destination pairs")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		phi     = flag.Int("phi", 2, "MDA-Lite meshing budget")
-		rounds  = flag.Int("rounds", 10, "alias rounds (router level)")
-		workers = flag.Int("workers", 0, "concurrent trace workers (0 = GOMAXPROCS, 1 = serial; results are identical)")
-		figs    = flag.Bool("figs", false, "also print full figure series")
-		out     = flag.String("out", "", "stream per-trace survey records to this JSONL file as pairs complete")
-		jsonl   = flag.String("jsonl", "", "deprecated alias for -out")
-		ckpt    = flag.String("checkpoint", "", "write an atomic progress checkpoint to this file")
-		every   = flag.Int("checkpoint-every", survey.DefaultCheckpointEvery, "records between checkpoints")
-		resume  = flag.Bool("resume", false, "resume from the checkpoint, skipping completed pairs")
-		prog    = flag.Bool("progress", false, "report pair/probe rates to stderr while running")
+		level       = flag.String("level", "ip", "survey level: ip or router")
+		pairs       = flag.Int("pairs", 1000, "number of source-destination pairs")
+		seed        = flag.Uint64("seed", 1, "random seed")
+		phi         = flag.Int("phi", 2, "MDA-Lite meshing budget")
+		rounds      = flag.Int("rounds", 10, "alias rounds (router level)")
+		workers     = flag.Int("workers", 0, "concurrent trace workers (0 = GOMAXPROCS, 1 = serial; results are identical)")
+		figs        = flag.Bool("figs", false, "also print full figure series")
+		out         = flag.String("out", "", "stream per-trace survey records to this JSONL file as pairs complete")
+		jsonl       = flag.String("jsonl", "", "deprecated alias for -out")
+		atlasOut    = flag.String("atlas", "", "merge every trace into a cross-trace atlas and write its snapshot to this file")
+		atlasShards = flag.Int("atlas-shards", 0, "atlas ingestion shards (0 = default; snapshot bytes are identical for every value)")
+		ckpt        = flag.String("checkpoint", "", "write an atomic progress checkpoint to this file")
+		every       = flag.Int("checkpoint-every", survey.DefaultCheckpointEvery, "records between checkpoints")
+		resume      = flag.Bool("resume", false, "resume from the checkpoint, skipping completed pairs")
+		prog        = flag.Bool("progress", false, "report pair/probe rates to stderr while running")
 	)
 	flag.Parse()
 
@@ -73,6 +82,11 @@ func main() {
 		jsonlSink = survey.NewJSONLSink(outPath)
 		agg = survey.NewAggregateSink()
 		cfg.Sinks = []survey.Sink{jsonlSink, agg}
+	}
+	var atlasSink *survey.AtlasSink
+	if *atlasOut != "" {
+		atlasSink = survey.NewAtlasSink(atlas.Options{Shards: *atlasShards})
+		cfg.Sinks = append(cfg.Sinks, atlasSink)
 	}
 
 	var stopProgress chan struct{}
@@ -109,6 +123,11 @@ func main() {
 			fail(jsonlSink.Close())
 			fmt.Printf("wrote %d trace records to %s (%d bytes)\n",
 				agg.Agg.Records, outPath, jsonlSink.Offset())
+		}
+		if atlasSink != nil {
+			snap := atlasSink.Atlas.Snapshot()
+			fail(traceio.WriteAtlasFile(*atlasOut, snap))
+			fmt.Printf("wrote atlas snapshot to %s (%s)\n", *atlasOut, atlas.StatsOf(snap))
 		}
 		if *resume && agg != nil {
 			// The in-memory result covers only the pairs this process

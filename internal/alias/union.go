@@ -1,0 +1,145 @@
+package alias
+
+import (
+	"sort"
+
+	"mmlpt/internal/packet"
+)
+
+// Union accumulates alias evidence across traces (Sec 5.2's aggregated
+// router view): Accepted sets from different traces union transitively,
+// so router identities grow as evidence accumulates, while Rejected
+// verdicts are retained as negative evidence. Merging is monotone — a
+// union-find cannot split — so a rejection never undoes a merge; when
+// MBT verdicts disagree across traces (a pair accepted by one trace's
+// evidence and rejected by another's), the pair surfaces from
+// Conflicts() instead of silently losing to whichever trace came last.
+//
+// The canonical representative of a component is its smallest address.
+// Because a component's membership depends only on the *set* of unions
+// applied, representatives and Groups() are stable under any insertion
+// order — the property that lets a sharded atlas merge be deterministic
+// for every worker count.
+type Union struct {
+	parent   map[packet.Addr]packet.Addr
+	rejected map[[2]packet.Addr]bool
+}
+
+// NewUnion returns an empty evidence accumulator.
+func NewUnion() *Union {
+	return &Union{
+		parent:   make(map[packet.Addr]packet.Addr),
+		rejected: make(map[[2]packet.Addr]bool),
+	}
+}
+
+// Find returns the canonical representative of a's component: the
+// smallest address merged with a, or a itself if never merged.
+func (u *Union) Find(a packet.Addr) packet.Addr {
+	p, ok := u.parent[a]
+	if !ok || p == a {
+		return a
+	}
+	root := u.Find(p)
+	u.parent[a] = root
+	return root
+}
+
+// Add records positive evidence that a and b are aliases, merging their
+// components.
+func (u *Union) Add(a, b packet.Addr) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	// The smaller root stays the root, keeping the invariant that a
+	// component's root is its minimum address.
+	if rb < ra {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+}
+
+// find is Find plus registration: the address joins the forest even as
+// a singleton, so Groups can enumerate every address ever seen.
+func (u *Union) find(a packet.Addr) packet.Addr {
+	if _, ok := u.parent[a]; !ok {
+		u.parent[a] = a
+	}
+	return u.Find(a)
+}
+
+// AddSet merges every address of one trace's alias set. Empty and
+// singleton sets carry no pairwise evidence and are no-ops.
+func (u *Union) AddSet(addrs []packet.Addr) {
+	if len(addrs) < 2 {
+		return
+	}
+	for _, a := range addrs[1:] {
+		u.Add(addrs[0], a)
+	}
+}
+
+// Reject records negative evidence: some trace's combined verdict ruled
+// a and b to be different routers. The components are not split (and
+// future positive evidence may still merge them); the disagreement is
+// reported by Conflicts.
+func (u *Union) Reject(a, b packet.Addr) {
+	if a > b {
+		a, b = b, a
+	}
+	u.rejected[[2]packet.Addr{a, b}] = true
+}
+
+// Same reports whether a and b currently share a component.
+func (u *Union) Same(a, b packet.Addr) bool { return u.Find(a) == u.Find(b) }
+
+// Groups returns the components holding two or more addresses — the
+// aggregated routers — each sorted ascending, the list sorted by
+// canonical representative (each group's first address).
+func (u *Union) Groups() [][]packet.Addr {
+	byRoot := make(map[packet.Addr][]packet.Addr)
+	for a := range u.parent {
+		r := u.Find(a)
+		byRoot[r] = append(byRoot[r], a)
+	}
+	var out [][]packet.Addr
+	for _, g := range byRoot {
+		if len(g) < 2 {
+			continue
+		}
+		sort.Slice(g, func(i, j int) bool { return g[i] < g[j] })
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// Conflict is a pair with contradictory cross-trace evidence: rejected
+// by at least one trace, yet merged into one component by others.
+type Conflict struct {
+	A, B packet.Addr
+	// Root is the component's canonical representative.
+	Root packet.Addr
+}
+
+// Conflicts returns every rejected pair whose two addresses nonetheless
+// ended up in the same component, sorted by (A, B). The result is
+// computed from the final state, so it is independent of the order in
+// which evidence arrived.
+func (u *Union) Conflicts() []Conflict {
+	var out []Conflict
+	for p := range u.rejected {
+		ra, rb := u.Find(p[0]), u.Find(p[1])
+		if ra == rb {
+			out = append(out, Conflict{A: p[0], B: p[1], Root: ra})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}

@@ -1,0 +1,124 @@
+package alias
+
+import (
+	"reflect"
+	"testing"
+
+	"mmlpt/internal/packet"
+)
+
+func addrs(ns ...uint32) []packet.Addr {
+	out := make([]packet.Addr, len(ns))
+	for i, n := range ns {
+		out[i] = packet.Addr(n)
+	}
+	return out
+}
+
+// Transitivity: sets from different traces that share one address merge
+// into a single router.
+func TestUnionTransitivity(t *testing.T) {
+	t.Parallel()
+	u := NewUnion()
+	u.AddSet(addrs(10, 11))
+	u.AddSet(addrs(11, 12))
+	u.AddSet(addrs(12, 13))
+	if !u.Same(10, 13) {
+		t.Fatal("10 and 13 must be transitively merged")
+	}
+	groups := u.Groups()
+	want := [][]packet.Addr{addrs(10, 11, 12, 13)}
+	if !reflect.DeepEqual(groups, want) {
+		t.Fatalf("Groups = %v, want %v", groups, want)
+	}
+}
+
+// Stable representatives: the canonical representative is the smallest
+// address of the component, whatever order evidence arrived in.
+func TestUnionStableRepresentatives(t *testing.T) {
+	t.Parallel()
+	orders := [][][]packet.Addr{
+		{addrs(30, 31), addrs(31, 5), addrs(5, 40)},
+		{addrs(5, 40), addrs(31, 5), addrs(30, 31)},
+		{addrs(31, 5), addrs(30, 31), addrs(5, 40)},
+	}
+	for i, sets := range orders {
+		u := NewUnion()
+		for _, s := range sets {
+			u.AddSet(s)
+		}
+		for _, a := range addrs(5, 30, 31, 40) {
+			if got := u.Find(a); got != 5 {
+				t.Fatalf("order %d: Find(%v) = %v, want 5 (the minimum)", i, a, got)
+			}
+		}
+		if got := u.Groups(); !reflect.DeepEqual(got, [][]packet.Addr{addrs(5, 30, 31, 40)}) {
+			t.Fatalf("order %d: Groups = %v", i, got)
+		}
+	}
+}
+
+// Disjoint components stay disjoint and come out sorted by canonical
+// representative; singletons (never merged) are not routers.
+func TestUnionGroupsSortedAndMultiOnly(t *testing.T) {
+	t.Parallel()
+	u := NewUnion()
+	u.AddSet(addrs(200, 201))
+	u.AddSet(addrs(100, 101, 102))
+	u.Reject(300, 301) // negative-only evidence: no component
+	got := u.Groups()
+	want := [][]packet.Addr{addrs(100, 101, 102), addrs(200, 201)}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Groups = %v, want %v", got, want)
+	}
+	if u.Same(100, 200) {
+		t.Fatal("disjoint components merged")
+	}
+}
+
+// Conflict handling: a pair rejected by one trace but merged (directly
+// or transitively) by others is reported, not silently resolved; a
+// rejection alone neither merges nor splits.
+func TestUnionConflicts(t *testing.T) {
+	t.Parallel()
+	u := NewUnion()
+	u.Reject(20, 22)        // trace A: MBT rejects the pair
+	u.AddSet(addrs(20, 21)) // trace B
+	if len(u.Conflicts()) != 0 {
+		t.Fatal("no conflict yet: 20 and 22 are in different components")
+	}
+	u.AddSet(addrs(21, 22)) // trace C closes the triangle
+	got := u.Conflicts()
+	want := []Conflict{{A: 20, B: 22, Root: 20}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Conflicts = %v, want %v", got, want)
+	}
+	if !u.Same(20, 22) {
+		t.Fatal("positive evidence is monotone: the merge must stand")
+	}
+}
+
+// Conflicts are a function of the final state: evidence order (rejection
+// before or after the merges) does not change the report.
+func TestUnionConflictsOrderIndependent(t *testing.T) {
+	t.Parallel()
+	build := func(rejectFirst bool) []Conflict {
+		u := NewUnion()
+		if rejectFirst {
+			u.Reject(51, 53)
+		}
+		u.AddSet(addrs(50, 51))
+		u.AddSet(addrs(50, 52, 53))
+		if !rejectFirst {
+			u.Reject(51, 53)
+		}
+		return u.Conflicts()
+	}
+	before, after := build(true), build(false)
+	if !reflect.DeepEqual(before, after) {
+		t.Fatalf("conflicts differ by evidence order: %v vs %v", before, after)
+	}
+	if len(before) != 1 || before[0].Root != 50 {
+		t.Fatalf("Conflicts = %v, want one conflict rooted at 50", before)
+	}
+}

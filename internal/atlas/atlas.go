@@ -1,0 +1,305 @@
+// Package atlas is the cross-trace topology store: a concurrent,
+// sharded accumulator that merges per-pair IP-level graphs, alias
+// evidence and diamond encounters into one queryable multilevel view of
+// the whole surveyed internet (the aggregation the paper's Sec 5
+// surveys perform implicitly when they report router sizes and diamond
+// effects "across the internet").
+//
+// Graphs from different vantage points are not globally hop-aligned —
+// the same interface sits at hop 6 of one trace and hop 11 of another —
+// so the merged graph cannot be the per-trace hop-indexed topo.Graph.
+// Instead the atlas builds an address-keyed MultiGraph on the shared
+// topo.DAG core: one vertex per interface address, edges wherever any
+// trace observed a link, and hop positions demoted to per-source
+// provenance annotations ((pair, hop) observations).
+//
+// Ingestion is sharded by address for lock-freedom across concurrent
+// writers; every query and snapshot first merges the shards in
+// canonical (ascending address) order, which is what makes the output —
+// snapshot bytes included — independent of worker count, shard count,
+// and ingestion order.
+package atlas
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"mmlpt/internal/alias"
+	"mmlpt/internal/packet"
+	"mmlpt/internal/topo"
+	"mmlpt/internal/traceio"
+)
+
+// Obs is one provenance observation: pair Pair saw the address at hop
+// Hop of its trace.
+type Obs struct {
+	Pair int
+	Hop  int
+}
+
+// DefaultShards is the shard count when Options.Shards is zero.
+const DefaultShards = 16
+
+// Options configures an Atlas.
+type Options struct {
+	// Shards is the number of address-hash ingestion shards. Shard
+	// count affects only lock contention, never output: snapshots are
+	// identical for every value.
+	Shards int
+}
+
+// Atlas is the sharded cross-trace store. All methods are safe for
+// concurrent use.
+type Atlas struct {
+	shards []*shard
+
+	mu     sync.Mutex
+	union  *alias.Union
+	census map[censusKey]*censusEntry
+	pairs  map[int]pairInfo
+}
+
+type shard struct {
+	mu    sync.Mutex
+	nodes map[packet.Addr]*nodeState
+}
+
+type nodeState struct {
+	seen []Obs
+	succ map[packet.Addr]struct{}
+}
+
+type censusKey struct{ div, conv string }
+
+type censusEntry struct {
+	count     int
+	pairs     map[int]struct{}
+	maxWidth  int
+	maxLength int
+}
+
+type pairInfo struct{ src, dst string }
+
+// New returns an empty atlas.
+func New(opt Options) *Atlas {
+	n := opt.Shards
+	if n <= 0 {
+		n = DefaultShards
+	}
+	a := &Atlas{
+		shards: make([]*shard, n),
+		union:  alias.NewUnion(),
+		census: make(map[censusKey]*censusEntry),
+		pairs:  make(map[int]pairInfo),
+	}
+	for i := range a.shards {
+		a.shards[i] = &shard{nodes: make(map[packet.Addr]*nodeState)}
+	}
+	return a
+}
+
+func (a *Atlas) shardOf(addr packet.Addr) *shard {
+	// Addresses are dense allocations; a multiplicative hash spreads
+	// them evenly over any shard count.
+	h := uint32(addr) * 0x9e3779b1
+	return a.shards[h%uint32(len(a.shards))]
+}
+
+func (a *Atlas) node(s *shard, addr packet.Addr) *nodeState {
+	n, ok := s.nodes[addr]
+	if !ok {
+		n = &nodeState{}
+		s.nodes[addr] = n
+	}
+	return n
+}
+
+// AddGraph merges one pair's IP-level trace graph: every responsive
+// vertex contributes a (pair, hop) observation, every edge between
+// responsive vertices a link. Star (non-responsive) vertices have no
+// address and are skipped.
+func (a *Atlas) AddGraph(pair int, g *topo.Graph) {
+	for i := range g.Vertices {
+		v := &g.Vertices[i]
+		if v.Addr == topo.StarAddr {
+			continue
+		}
+		s := a.shardOf(v.Addr)
+		s.mu.Lock()
+		n := a.node(s, v.Addr)
+		n.seen = append(n.seen, Obs{Pair: pair, Hop: v.Hop})
+		s.mu.Unlock()
+	}
+	for i := range g.Vertices {
+		u := &g.Vertices[i]
+		if u.Addr == topo.StarAddr {
+			continue
+		}
+		for _, w := range g.Succ(topo.VertexID(i)) {
+			wa := g.V(w).Addr
+			if wa == topo.StarAddr {
+				continue
+			}
+			s := a.shardOf(u.Addr)
+			s.mu.Lock()
+			n := a.node(s, u.Addr)
+			if n.succ == nil {
+				n.succ = make(map[packet.Addr]struct{})
+			}
+			n.succ[wa] = struct{}{}
+			s.mu.Unlock()
+		}
+	}
+}
+
+// AddAliasSet merges one trace's accepted alias set into the growing
+// router identities.
+func (a *Atlas) AddAliasSet(addrs []packet.Addr) {
+	if len(addrs) < 2 {
+		return
+	}
+	a.mu.Lock()
+	a.union.AddSet(addrs)
+	a.mu.Unlock()
+}
+
+// AddDiamond folds one diamond encounter into the cross-pair census.
+func (a *Atlas) AddDiamond(pair int, d traceio.SurveyDiamond) {
+	k := censusKey{div: d.Div, conv: d.Conv}
+	a.mu.Lock()
+	e, ok := a.census[k]
+	if !ok {
+		e = &censusEntry{pairs: make(map[int]struct{})}
+		a.census[k] = e
+	}
+	e.count++
+	e.pairs[pair] = struct{}{}
+	if d.MaxWidth > e.maxWidth {
+		e.maxWidth = d.MaxWidth
+	}
+	if d.MaxLength > e.maxLength {
+		e.maxLength = d.MaxLength
+	}
+	a.mu.Unlock()
+}
+
+// AddRecord merges one streamed survey record: the trace topology, the
+// per-trace routers (alias sets) and the diamond encounters. This is
+// what survey.AtlasSink feeds, live or replayed.
+func (a *Atlas) AddRecord(rec *traceio.SurveyRecord) error {
+	g, err := traceio.DecodeGraph(rec.Trace.Vertices, rec.Trace.Edges)
+	if err != nil {
+		return fmt.Errorf("atlas: pair %d: %w", rec.PairIndex, err)
+	}
+	a.AddGraph(rec.PairIndex, g)
+	for _, r := range rec.Trace.Routers {
+		set := make([]packet.Addr, 0, len(r.Addrs))
+		for _, s := range r.Addrs {
+			addr, err := packet.ParseAddr(s)
+			if err != nil {
+				return fmt.Errorf("atlas: pair %d: router address %q: %w", rec.PairIndex, s, err)
+			}
+			set = append(set, addr)
+		}
+		a.AddAliasSet(set)
+	}
+	for _, d := range rec.Diamonds {
+		a.AddDiamond(rec.PairIndex, d)
+	}
+	a.mu.Lock()
+	a.pairs[rec.PairIndex] = pairInfo{src: rec.Trace.Src, dst: rec.Trace.Dst}
+	a.mu.Unlock()
+	return nil
+}
+
+// NumPairs returns how many pairs have been merged via AddRecord.
+func (a *Atlas) NumPairs() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.pairs)
+}
+
+// RouterSizes returns the sizes of the aggregated routers (alias
+// components with two or more interfaces), in canonical group order.
+func (a *Atlas) RouterSizes() []int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	groups := a.union.Groups()
+	out := make([]int, len(groups))
+	for i, g := range groups {
+		out[i] = len(g)
+	}
+	return out
+}
+
+// Routers returns the aggregated router components themselves.
+func (a *Atlas) Routers() [][]packet.Addr {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.union.Groups()
+}
+
+// Census returns the cross-pair diamond census in canonical (div, conv)
+// order.
+func (a *Atlas) Census() []traceio.AtlasDiamond {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	keys := make([]censusKey, 0, len(a.census))
+	for k := range a.census {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].div != keys[j].div {
+			return keys[i].div < keys[j].div
+		}
+		return keys[i].conv < keys[j].conv
+	})
+	out := make([]traceio.AtlasDiamond, 0, len(keys))
+	for _, k := range keys {
+		e := a.census[k]
+		ps := make([]int, 0, len(e.pairs))
+		for p := range e.pairs {
+			ps = append(ps, p)
+		}
+		sort.Ints(ps)
+		out = append(out, traceio.AtlasDiamond{
+			Div: k.div, Conv: k.conv, Count: e.count, Pairs: ps,
+			MaxWidth: e.maxWidth, MaxLength: e.maxLength,
+		})
+	}
+	return out
+}
+
+// Provenance returns the (pair, hop) observations of one address,
+// sorted, and whether the address is known at all.
+func (a *Atlas) Provenance(addr packet.Addr) ([]Obs, bool) {
+	s := a.shardOf(addr)
+	s.mu.Lock()
+	n, ok := s.nodes[addr]
+	if !ok {
+		s.mu.Unlock()
+		return nil, false
+	}
+	seen := append([]Obs(nil), n.seen...)
+	s.mu.Unlock()
+	return sortedObs(seen), true
+}
+
+func sortedObs(seen []Obs) []Obs {
+	sort.Slice(seen, func(i, j int) bool {
+		if seen[i].Pair != seen[j].Pair {
+			return seen[i].Pair < seen[j].Pair
+		}
+		return seen[i].Hop < seen[j].Hop
+	})
+	// Dedup: a replayed record or duplicate AddGraph must not inflate
+	// provenance.
+	out := seen[:0]
+	for i, o := range seen {
+		if i == 0 || o != seen[i-1] {
+			out = append(out, o)
+		}
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+package atlas
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"mmlpt/internal/topo"
+)
+
+func benchGraphs(n int) []*topo.Graph {
+	gs := make([]*topo.Graph, n)
+	for i := 0; i < n; i++ {
+		// Paths share a trunk (addresses 1..8) and diverge per pair,
+		// approximating the survey's shared-core address reuse.
+		addrs := []uint32{1, 2, 3, 4, 5, 6, 7, 8}
+		for h := 0; h < 8; h++ {
+			addrs = append(addrs, uint32(1000+i*8+h))
+		}
+		gs[i] = chain(addrs...)
+	}
+	return gs
+}
+
+// BenchmarkAtlasIngest measures serial merge throughput plus snapshot.
+func BenchmarkAtlasIngest(b *testing.B) {
+	gs := benchGraphs(256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a := New(Options{})
+		for p, g := range gs {
+			a.AddGraph(p, g)
+		}
+		if s := a.Snapshot(); len(s.Nodes) == 0 {
+			b.Fatal("empty snapshot")
+		}
+	}
+	b.ReportMetric(float64(256*b.N)/b.Elapsed().Seconds(), "graphs/s")
+}
+
+// BenchmarkAtlasIngestParallel measures contended sharded ingestion.
+func BenchmarkAtlasIngestParallel(b *testing.B) {
+	gs := benchGraphs(256)
+	for _, workers := range []int{4, 16} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				a := New(Options{})
+				var wg sync.WaitGroup
+				per := (len(gs) + workers - 1) / workers
+				for w := 0; w < workers; w++ {
+					lo := w * per
+					hi := lo + per
+					if hi > len(gs) {
+						hi = len(gs)
+					}
+					wg.Add(1)
+					go func(lo, hi int) {
+						defer wg.Done()
+						for p := lo; p < hi; p++ {
+							a.AddGraph(p, gs[p])
+						}
+					}(lo, hi)
+				}
+				wg.Wait()
+			}
+		})
+	}
+}

@@ -1,0 +1,110 @@
+package atlas
+
+import (
+	"sort"
+
+	"mmlpt/internal/packet"
+	"mmlpt/internal/topo"
+)
+
+// NodeID indexes MultiGraph nodes. It aliases topo.VertexID because the
+// MultiGraph is a keying layer over the same topo.DAG adjacency core the
+// per-trace Graph uses.
+type NodeID = topo.VertexID
+
+// MultiGraph is the merged multilevel view: one node per interface
+// address (stars have none and are absent), edges wherever any trace
+// observed a link, and hop positions kept as per-source annotations —
+// cross-vantage-point merges have no global hop alignment, so hops are
+// facts about (pair, address), not about the node.
+type MultiGraph struct {
+	dag    topo.DAG
+	addrs  []packet.Addr
+	byAddr map[packet.Addr]NodeID
+	seen   [][]Obs
+}
+
+// NumNodes returns the number of addresses.
+func (m *MultiGraph) NumNodes() int { return len(m.addrs) }
+
+// NumEdges returns the number of merged links.
+func (m *MultiGraph) NumEdges() int { return m.dag.NumEdges() }
+
+// Addr returns the address of node id.
+func (m *MultiGraph) Addr(id NodeID) packet.Addr { return m.addrs[id] }
+
+// Lookup returns the node for an address, or topo.None.
+func (m *MultiGraph) Lookup(addr packet.Addr) NodeID {
+	if id, ok := m.byAddr[addr]; ok {
+		return id
+	}
+	return topo.None
+}
+
+// Seen returns the sorted (pair, hop) observations of node id.
+func (m *MultiGraph) Seen(id NodeID) []Obs { return m.seen[id] }
+
+// Succ returns the successors of node id, in ascending address order.
+func (m *MultiGraph) Succ(id NodeID) []NodeID { return m.dag.Succ(id) }
+
+// Pred returns the predecessors of node id.
+func (m *MultiGraph) Pred(id NodeID) []NodeID { return m.dag.Pred(id) }
+
+// OutDegree returns the number of successors of node id.
+func (m *MultiGraph) OutDegree(id NodeID) int { return m.dag.OutDegree(id) }
+
+// InDegree returns the number of predecessors of node id.
+func (m *MultiGraph) InDegree(id NodeID) int { return m.dag.InDegree(id) }
+
+// Merged collapses the ingestion shards into one MultiGraph. This is
+// the canonical-order merge every snapshot and query goes through:
+// addresses are visited ascending and each node's successor list is
+// built sorted, so the result is identical for every shard layout,
+// worker count, and ingestion order.
+func (a *Atlas) Merged() *MultiGraph {
+	type flat struct {
+		seen []Obs
+		succ []packet.Addr
+	}
+	nodes := make(map[packet.Addr]flat)
+	for _, s := range a.shards {
+		s.mu.Lock()
+		for addr, n := range s.nodes {
+			succ := make([]packet.Addr, 0, len(n.succ))
+			for w := range n.succ {
+				succ = append(succ, w)
+			}
+			nodes[addr] = flat{seen: append([]Obs(nil), n.seen...), succ: succ}
+		}
+		s.mu.Unlock()
+	}
+	addrs := make([]packet.Addr, 0, len(nodes))
+	for addr := range nodes {
+		addrs = append(addrs, addr)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+
+	m := &MultiGraph{
+		addrs:  addrs,
+		byAddr: make(map[packet.Addr]NodeID, len(addrs)),
+		seen:   make([][]Obs, 0, len(addrs)),
+	}
+	for _, addr := range addrs {
+		id := m.dag.AddVertex()
+		m.byAddr[addr] = id
+		m.seen = append(m.seen, sortedObs(nodes[addr].seen))
+	}
+	for _, addr := range addrs {
+		u := m.byAddr[addr]
+		succ := nodes[addr].succ
+		sort.Slice(succ, func(i, j int) bool { return succ[i] < succ[j] })
+		for _, wa := range succ {
+			// An edge endpoint always has a node: AddGraph records an
+			// observation for every responsive vertex before its edges.
+			if w, ok := m.byAddr[wa]; ok {
+				m.dag.AddEdge(u, w)
+			}
+		}
+	}
+	return m
+}

@@ -1,0 +1,156 @@
+package atlas
+
+import (
+	"fmt"
+	"sort"
+
+	"mmlpt/internal/packet"
+	"mmlpt/internal/traceio"
+)
+
+// Snapshot renders the atlas in canonical order as a serializable
+// traceio.AtlasSnapshot. For a fixed merged content the snapshot —
+// and therefore its encoded bytes — is unique: every section is sorted,
+// independent of worker count, shard count and ingestion order.
+func (a *Atlas) Snapshot() *traceio.AtlasSnapshot {
+	m := a.Merged()
+	s := &traceio.AtlasSnapshot{}
+
+	a.mu.Lock()
+	idxs := make([]int, 0, len(a.pairs))
+	for i := range a.pairs {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		p := a.pairs[i]
+		s.Pairs = append(s.Pairs, traceio.AtlasPair{Pair: i, Src: p.src, Dst: p.dst})
+	}
+	a.mu.Unlock()
+
+	for id := 0; id < m.NumNodes(); id++ {
+		n := traceio.AtlasNode{Addr: m.Addr(NodeID(id)).String()}
+		for _, o := range m.Seen(NodeID(id)) {
+			n.Seen = append(n.Seen, [2]int{o.Pair, o.Hop})
+		}
+		s.Nodes = append(s.Nodes, n)
+	}
+	for id := 0; id < m.NumNodes(); id++ {
+		for _, w := range m.Succ(NodeID(id)) {
+			s.Edges = append(s.Edges, traceio.AtlasEdge{id, int(w)})
+		}
+	}
+	for _, g := range a.Routers() {
+		r := traceio.AtlasRouter{Addrs: make([]string, len(g))}
+		for i, addr := range g {
+			r.Addrs[i] = addr.String()
+		}
+		s.Routers = append(s.Routers, r)
+	}
+	s.Diamonds = a.Census()
+	return s
+}
+
+// FromSnapshot rebuilds an atlas from a decoded snapshot. The round
+// trip is exact for everything a snapshot persists —
+// FromSnapshot(a.Snapshot()).Snapshot() equals a.Snapshot(), byte for
+// byte once encoded. Rejection evidence (alias.Union.Reject) is not
+// part of the snapshot format: the streamed survey records the atlas
+// ingests carry only accepted sets.
+func FromSnapshot(s *traceio.AtlasSnapshot, opt Options) (*Atlas, error) {
+	a := New(opt)
+	addrs := make([]packet.Addr, len(s.Nodes))
+	for i, n := range s.Nodes {
+		addr, err := packet.ParseAddr(n.Addr)
+		if err != nil {
+			return nil, fmt.Errorf("atlas: node %d: %w", i, err)
+		}
+		addrs[i] = addr
+		sh := a.shardOf(addr)
+		st := a.node(sh, addr)
+		for _, o := range n.Seen {
+			st.seen = append(st.seen, Obs{Pair: o[0], Hop: o[1]})
+		}
+	}
+	for _, e := range s.Edges {
+		if e[0] < 0 || e[0] >= len(addrs) || e[1] < 0 || e[1] >= len(addrs) {
+			return nil, fmt.Errorf("atlas: edge %v out of range", e)
+		}
+		sh := a.shardOf(addrs[e[0]])
+		st := a.node(sh, addrs[e[0]])
+		if st.succ == nil {
+			st.succ = make(map[packet.Addr]struct{})
+		}
+		st.succ[addrs[e[1]]] = struct{}{}
+	}
+	for i, r := range s.Routers {
+		set := make([]packet.Addr, len(r.Addrs))
+		for j, as := range r.Addrs {
+			addr, err := packet.ParseAddr(as)
+			if err != nil {
+				return nil, fmt.Errorf("atlas: router %d: %w", i, err)
+			}
+			set[j] = addr
+		}
+		a.AddAliasSet(set)
+	}
+	for _, d := range s.Diamonds {
+		e := &censusEntry{
+			count: d.Count, pairs: make(map[int]struct{}, len(d.Pairs)),
+			maxWidth: d.MaxWidth, maxLength: d.MaxLength,
+		}
+		for _, p := range d.Pairs {
+			e.pairs[p] = struct{}{}
+		}
+		a.census[censusKey{div: d.Div, conv: d.Conv}] = e
+	}
+	for _, p := range s.Pairs {
+		a.pairs[p.Pair] = pairInfo{src: p.Src, dst: p.Dst}
+	}
+	return a, nil
+}
+
+// Save persists the atlas snapshot atomically.
+func (a *Atlas) Save(path string) error {
+	return traceio.WriteAtlasFile(path, a.Snapshot())
+}
+
+// Load reads a snapshot file back into a queryable atlas.
+func Load(path string, opt Options) (*Atlas, error) {
+	s, err := traceio.ReadAtlasFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return FromSnapshot(s, opt)
+}
+
+// Stats summarizes the atlas for CLI output.
+type Stats struct {
+	Pairs    int
+	Nodes    int
+	Edges    int
+	Routers  int
+	Diamonds int
+}
+
+// ComputeStats counts the atlas's merged content. It performs a full
+// canonical merge; callers that already hold a snapshot should use
+// StatsOf instead.
+func (a *Atlas) ComputeStats() Stats {
+	return StatsOf(a.Snapshot())
+}
+
+// StatsOf derives the stats from an already-built snapshot, avoiding a
+// second merge.
+func StatsOf(s *traceio.AtlasSnapshot) Stats {
+	return Stats{
+		Pairs: len(s.Pairs), Nodes: len(s.Nodes), Edges: len(s.Edges),
+		Routers: len(s.Routers), Diamonds: len(s.Diamonds),
+	}
+}
+
+// String renders the stats.
+func (s Stats) String() string {
+	return fmt.Sprintf("atlas: %d pairs, %d addresses, %d links, %d routers, %d distinct diamonds",
+		s.Pairs, s.Nodes, s.Edges, s.Routers, s.Diamonds)
+}

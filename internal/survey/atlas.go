@@ -1,0 +1,31 @@
+package survey
+
+import (
+	"mmlpt/internal/atlas"
+	"mmlpt/internal/traceio"
+)
+
+// AtlasSink feeds a streaming survey into a cross-trace atlas: each
+// record's topology, routers and diamond encounters merge into the
+// store the moment the pair completes. Composable with any other sink
+// (Tee, the JSONL record log, aggregates); because the atlas's snapshot
+// is canonical — sharded by address, shards merged in ascending address
+// order — the snapshot a run produces is byte-identical for every
+// worker count and shard count, and a resumed run's replay rebuilds the
+// exact atlas an uninterrupted run would have produced.
+type AtlasSink struct {
+	Atlas *atlas.Atlas
+}
+
+// NewAtlasSink returns a sink feeding a fresh atlas with opt shards.
+func NewAtlasSink(opt atlas.Options) *AtlasSink {
+	return &AtlasSink{Atlas: atlas.New(opt)}
+}
+
+// Emit merges one record.
+func (s *AtlasSink) Emit(rec *traceio.SurveyRecord) error {
+	return s.Atlas.AddRecord(rec)
+}
+
+// Close is a no-op: the atlas stays queryable after the run.
+func (s *AtlasSink) Close() error { return nil }

@@ -42,13 +42,13 @@ type Vertex struct {
 	Addr   packet.Addr
 	Hop    int
 	Router RouterID
-	succ   []VertexID
-	pred   []VertexID
 }
 
-// Graph is a multipath route topology.
+// Graph is a multipath route topology: a hop-indexed view over the
+// shared DAG adjacency core, keying vertices by (address, hop).
 type Graph struct {
 	Vertices []Vertex
+	dag      DAG
 	hops     [][]VertexID
 	byAddr   map[packet.Addr]VertexID
 }
@@ -108,7 +108,7 @@ func (g *Graph) AddVertex(h int, addr packet.Addr) VertexID {
 			}
 		}
 	}
-	id := VertexID(len(g.Vertices))
+	id := g.dag.AddVertex()
 	g.Vertices = append(g.Vertices, Vertex{Addr: addr, Hop: h, Router: NoRouter})
 	for len(g.hops) <= h {
 		g.hops = append(g.hops, nil)
@@ -128,35 +128,23 @@ func (g *Graph) AddEdge(u, w VertexID) {
 	if u == None || w == None {
 		return
 	}
-	for _, s := range g.Vertices[u].succ {
-		if s == w {
-			return
-		}
-	}
-	g.Vertices[u].succ = append(g.Vertices[u].succ, w)
-	g.Vertices[w].pred = append(g.Vertices[w].pred, u)
+	g.dag.AddEdge(u, w)
 }
 
 // Succ returns the successor vertex IDs of v.
-func (g *Graph) Succ(v VertexID) []VertexID { return g.Vertices[v].succ }
+func (g *Graph) Succ(v VertexID) []VertexID { return g.dag.Succ(v) }
 
 // Pred returns the predecessor vertex IDs of v.
-func (g *Graph) Pred(v VertexID) []VertexID { return g.Vertices[v].pred }
+func (g *Graph) Pred(v VertexID) []VertexID { return g.dag.Pred(v) }
 
 // OutDegree returns the number of successors of v.
-func (g *Graph) OutDegree(v VertexID) int { return len(g.Vertices[v].succ) }
+func (g *Graph) OutDegree(v VertexID) int { return g.dag.OutDegree(v) }
 
 // InDegree returns the number of predecessors of v.
-func (g *Graph) InDegree(v VertexID) int { return len(g.Vertices[v].pred) }
+func (g *Graph) InDegree(v VertexID) int { return g.dag.InDegree(v) }
 
 // NumEdges returns the total number of edges.
-func (g *Graph) NumEdges() int {
-	n := 0
-	for i := range g.Vertices {
-		n += len(g.Vertices[i].succ)
-	}
-	return n
-}
+func (g *Graph) NumEdges() int { return g.dag.NumEdges() }
 
 // NumVertices returns the total number of vertices.
 func (g *Graph) NumVertices() int { return len(g.Vertices) }
@@ -188,8 +176,8 @@ func (g *Graph) String() string {
 			} else {
 				fmt.Fprintf(&b, " %s", v.Addr)
 			}
-			if len(v.succ) > 0 {
-				fmt.Fprintf(&b, "->%d", len(v.succ))
+			if n := g.dag.OutDegree(id); n > 0 {
+				fmt.Fprintf(&b, "->%d", n)
 			}
 		}
 		b.WriteByte('\n')
@@ -285,7 +273,7 @@ func (g *Graph) pairWidthAsymmetry(h int) int {
 	maxSuccDiff := func() int {
 		lo, hi := 1<<30, 0
 		for _, v := range g.hops[h] {
-			n := len(g.Vertices[v].succ)
+			n := g.dag.OutDegree(v)
 			if n < lo {
 				lo = n
 			}
@@ -301,7 +289,7 @@ func (g *Graph) pairWidthAsymmetry(h int) int {
 	maxPredDiff := func() int {
 		lo, hi := 1<<30, 0
 		for _, v := range g.hops[h+1] {
-			n := len(g.Vertices[v].pred)
+			n := g.dag.InDegree(v)
 			if n < lo {
 				lo = n
 			}
@@ -349,7 +337,7 @@ func (g *Graph) PairMeshed(h int) bool {
 	}
 	outDeg2 := func() bool {
 		for _, v := range g.hops[h] {
-			if len(g.Vertices[v].succ) >= 2 {
+			if g.dag.OutDegree(v) >= 2 {
 				return true
 			}
 		}
@@ -357,7 +345,7 @@ func (g *Graph) PairMeshed(h int) bool {
 	}
 	inDeg2 := func() bool {
 		for _, v := range g.hops[h+1] {
-			if len(g.Vertices[v].pred) >= 2 {
+			if g.dag.InDegree(v) >= 2 {
 				return true
 			}
 		}
@@ -413,7 +401,7 @@ func (d *Diamond) ReachProbabilities() map[VertexID]float64 {
 	for h := d.DivHop; h < d.ConvHop; h++ {
 		for _, u := range d.g.hops[h] {
 			pu := p[u]
-			succ := d.g.Vertices[u].succ
+			succ := d.g.dag.Succ(u)
 			if pu == 0 || len(succ) == 0 {
 				continue
 			}
@@ -510,7 +498,7 @@ func edgeSet(g *Graph) string {
 	var edges []string
 	for i := range g.Vertices {
 		u := &g.Vertices[i]
-		for _, w := range u.succ {
+		for _, w := range g.dag.Succ(VertexID(i)) {
 			edges = append(edges, fmt.Sprintf("%d/%s>%s", u.Hop, u.Addr, g.Vertices[w].Addr))
 		}
 	}
@@ -539,7 +527,7 @@ func SubgraphCoverage(g, ref *Graph) (vertexFrac, edgeFrac float64) {
 		if gid != None {
 			vHit++
 		}
-		for _, w := range v.succ {
+		for _, w := range ref.Succ(VertexID(i)) {
 			wAddr := ref.Vertices[w].Addr
 			if wAddr == StarAddr {
 				continue

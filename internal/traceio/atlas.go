@@ -1,0 +1,302 @@
+package traceio
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Atlas snapshot format.
+//
+// A snapshot persists the cross-trace topology atlas (internal/atlas):
+// the address-keyed multilevel graph with per-pair hop provenance, the
+// aggregated alias components (routers), and the cross-pair diamond
+// census. The file is line-oriented JSON — a versioned header line with
+// section counts, then one line per pair, node, edge, router and
+// diamond, in that order:
+//
+//	{"version":1,"kind":"atlas","pairs":2,"nodes":3,...}
+//	{"pair":0,"src":"192.0.2.1","dst":"203.0.113.1"}
+//	{"addr":"10.0.0.1","seen":[[0,1],[1,2]]}
+//	[0,2]
+//	["10.0.0.1","10.0.0.2"]
+//	{"div":"10.0.0.1","conv":"10.0.0.9",...}
+//
+// Every section is emitted in canonical order (pairs by index, nodes by
+// address, edges by (from, to) node index, routers by first address,
+// diamonds by (div, conv) label), so for a fixed survey the snapshot is
+// byte-identical whatever worker or shard count produced it, and
+// Encode(Decode(b)) == b — the byte-stable round trip resume-style
+// tooling depends on.
+
+// AtlasVersion is the current snapshot format version.
+const AtlasVersion = 1
+
+// atlasKind guards against loading some other tool's JSONL file.
+const atlasKind = "atlas"
+
+// maxAtlasLine bounds one snapshot line; a header or record longer than
+// this is hostile or corrupt, not big.
+const maxAtlasLine = 1 << 24
+
+// preallocCap bounds slice preallocation from header counts, so a
+// hostile header claiming 10^12 nodes cannot allocate terabytes before
+// the decoder notices the file is short.
+const preallocCap = 1 << 16
+
+// AtlasHeader is the snapshot's first line.
+type AtlasHeader struct {
+	Version  int    `json:"version"`
+	Kind     string `json:"kind"`
+	Pairs    int    `json:"pairs"`
+	Nodes    int    `json:"nodes"`
+	Edges    int    `json:"edges"`
+	Routers  int    `json:"routers"`
+	Diamonds int    `json:"diamonds"`
+}
+
+// AtlasPair records one merged trace's identity.
+type AtlasPair struct {
+	Pair int    `json:"pair"`
+	Src  string `json:"src"`
+	Dst  string `json:"dst"`
+}
+
+// AtlasNode is one address of the multilevel graph with its provenance:
+// Seen lists the (pair index, hop) observations, sorted.
+type AtlasNode struct {
+	Addr string   `json:"addr"`
+	Seen [][2]int `json:"seen"`
+}
+
+// AtlasEdge is one directed link, by node index: [from, to].
+type AtlasEdge [2]int
+
+// AtlasRouter is one aggregated alias component, addresses sorted.
+type AtlasRouter struct {
+	Addrs []string `json:"addrs"`
+}
+
+// AtlasDiamond is one distinct diamond's census entry across all pairs.
+type AtlasDiamond struct {
+	Div  string `json:"div"`
+	Conv string `json:"conv"`
+	// Count is the number of encounters; Pairs the distinct pair
+	// indices that saw the diamond, sorted.
+	Count int   `json:"count"`
+	Pairs []int `json:"pairs"`
+	// MaxWidth and MaxLength are maxima over all encounters.
+	MaxWidth  int `json:"max_width"`
+	MaxLength int `json:"max_length"`
+}
+
+// AtlasSnapshot is the decoded snapshot.
+type AtlasSnapshot struct {
+	Pairs    []AtlasPair
+	Nodes    []AtlasNode
+	Edges    []AtlasEdge
+	Routers  []AtlasRouter
+	Diamonds []AtlasDiamond
+}
+
+// EncodeAtlas writes the snapshot. The caller is responsible for the
+// canonical ordering documented above; EncodeAtlas writes sections
+// verbatim.
+func EncodeAtlas(w io.Writer, s *AtlasSnapshot) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	h := AtlasHeader{
+		Version: AtlasVersion, Kind: atlasKind,
+		Pairs: len(s.Pairs), Nodes: len(s.Nodes), Edges: len(s.Edges),
+		Routers: len(s.Routers), Diamonds: len(s.Diamonds),
+	}
+	if err := enc.Encode(&h); err != nil {
+		return err
+	}
+	for i := range s.Pairs {
+		if err := enc.Encode(&s.Pairs[i]); err != nil {
+			return err
+		}
+	}
+	for i := range s.Nodes {
+		if err := enc.Encode(&s.Nodes[i]); err != nil {
+			return err
+		}
+	}
+	for i := range s.Edges {
+		if err := enc.Encode(&s.Edges[i]); err != nil {
+			return err
+		}
+	}
+	for i := range s.Routers {
+		if err := enc.Encode(&s.Routers[i]); err != nil {
+			return err
+		}
+	}
+	for i := range s.Diamonds {
+		if err := enc.Encode(&s.Diamonds[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeAtlas reads and validates a snapshot. Corrupt, truncated or
+// hostile input returns an error; it never panics and never allocates
+// proportionally to unverified header claims.
+func DecodeAtlas(r io.Reader) (*AtlasSnapshot, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), maxAtlasLine)
+	line := 0
+	next := func() ([]byte, error) {
+		for sc.Scan() {
+			line++
+			if len(sc.Bytes()) > 0 {
+				return sc.Bytes(), nil
+			}
+		}
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("traceio: atlas line %d: %v", line+1, err)
+		}
+		return nil, fmt.Errorf("traceio: atlas truncated after line %d", line)
+	}
+	hb, err := next()
+	if err != nil {
+		return nil, err
+	}
+	var h AtlasHeader
+	if err := json.Unmarshal(hb, &h); err != nil {
+		return nil, fmt.Errorf("traceio: bad atlas header: %v", err)
+	}
+	if h.Kind != atlasKind {
+		return nil, fmt.Errorf("traceio: not an atlas snapshot (kind %q)", h.Kind)
+	}
+	if h.Version != AtlasVersion {
+		return nil, fmt.Errorf("traceio: atlas version %d, want %d", h.Version, AtlasVersion)
+	}
+	if h.Pairs < 0 || h.Nodes < 0 || h.Edges < 0 || h.Routers < 0 || h.Diamonds < 0 {
+		return nil, fmt.Errorf("traceio: atlas header has negative section count")
+	}
+	capped := func(n int) int {
+		if n > preallocCap {
+			return preallocCap
+		}
+		return n
+	}
+	s := &AtlasSnapshot{
+		Pairs:    make([]AtlasPair, 0, capped(h.Pairs)),
+		Nodes:    make([]AtlasNode, 0, capped(h.Nodes)),
+		Edges:    make([]AtlasEdge, 0, capped(h.Edges)),
+		Routers:  make([]AtlasRouter, 0, capped(h.Routers)),
+		Diamonds: make([]AtlasDiamond, 0, capped(h.Diamonds)),
+	}
+	for i := 0; i < h.Pairs; i++ {
+		b, err := next()
+		if err != nil {
+			return nil, err
+		}
+		var p AtlasPair
+		if err := json.Unmarshal(b, &p); err != nil {
+			return nil, fmt.Errorf("traceio: atlas line %d: bad pair: %v", line, err)
+		}
+		if p.Pair < 0 {
+			return nil, fmt.Errorf("traceio: atlas line %d: negative pair index", line)
+		}
+		s.Pairs = append(s.Pairs, p)
+	}
+	for i := 0; i < h.Nodes; i++ {
+		b, err := next()
+		if err != nil {
+			return nil, err
+		}
+		var n AtlasNode
+		if err := json.Unmarshal(b, &n); err != nil {
+			return nil, fmt.Errorf("traceio: atlas line %d: bad node: %v", line, err)
+		}
+		for _, o := range n.Seen {
+			if o[0] < 0 || o[1] < 0 {
+				return nil, fmt.Errorf("traceio: atlas line %d: negative provenance", line)
+			}
+		}
+		s.Nodes = append(s.Nodes, n)
+	}
+	for i := 0; i < h.Edges; i++ {
+		b, err := next()
+		if err != nil {
+			return nil, err
+		}
+		var e AtlasEdge
+		if err := json.Unmarshal(b, &e); err != nil {
+			return nil, fmt.Errorf("traceio: atlas line %d: bad edge: %v", line, err)
+		}
+		if e[0] < 0 || e[0] >= h.Nodes || e[1] < 0 || e[1] >= h.Nodes {
+			return nil, fmt.Errorf("traceio: atlas line %d: edge index out of range", line)
+		}
+		s.Edges = append(s.Edges, e)
+	}
+	for i := 0; i < h.Routers; i++ {
+		b, err := next()
+		if err != nil {
+			return nil, err
+		}
+		var rt AtlasRouter
+		if err := json.Unmarshal(b, &rt); err != nil {
+			return nil, fmt.Errorf("traceio: atlas line %d: bad router: %v", line, err)
+		}
+		if len(rt.Addrs) < 2 {
+			return nil, fmt.Errorf("traceio: atlas line %d: router with %d addresses", line, len(rt.Addrs))
+		}
+		s.Routers = append(s.Routers, rt)
+	}
+	for i := 0; i < h.Diamonds; i++ {
+		b, err := next()
+		if err != nil {
+			return nil, err
+		}
+		var d AtlasDiamond
+		if err := json.Unmarshal(b, &d); err != nil {
+			return nil, fmt.Errorf("traceio: atlas line %d: bad diamond: %v", line, err)
+		}
+		if d.Count < 0 {
+			return nil, fmt.Errorf("traceio: atlas line %d: negative diamond count", line)
+		}
+		for _, p := range d.Pairs {
+			if p < 0 {
+				return nil, fmt.Errorf("traceio: atlas line %d: negative diamond pair", line)
+			}
+		}
+		s.Diamonds = append(s.Diamonds, d)
+	}
+	for sc.Scan() {
+		if len(sc.Bytes()) > 0 {
+			return nil, fmt.Errorf("traceio: atlas has trailing data after line %d", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("traceio: atlas after line %d: %v", line, err)
+	}
+	return s, nil
+}
+
+// WriteAtlasFile persists the snapshot atomically (temp + fsync +
+// rename), so a crash mid-save leaves the previous snapshot intact.
+func WriteAtlasFile(path string, s *AtlasSnapshot) error {
+	var buf bytes.Buffer
+	if err := EncodeAtlas(&buf, s); err != nil {
+		return err
+	}
+	return WriteFileAtomic(path, buf.Bytes(), 0o644)
+}
+
+// ReadAtlasFile loads a snapshot from disk.
+func ReadAtlasFile(path string) (*AtlasSnapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return DecodeAtlas(f)
+}

@@ -1,0 +1,87 @@
+package traceio
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// Robustness: the atlas snapshot decoder parses files from disk that may
+// be corrupt, truncated, or hostile. Errors are fine; panics and
+// unbounded allocations are not (mirrors internal/packet/fuzz_test.go).
+
+func decodeNeverPanics(t *testing.T, name string, data []byte) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("%s: DecodeAtlas panicked on %q: %v", name, data, r)
+		}
+	}()
+	_, _ = DecodeAtlas(bytes.NewReader(data))
+}
+
+func TestAtlasDecodeNeverPanicsOnGarbage(t *testing.T) {
+	t.Parallel()
+	check := func(data []byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("DecodeAtlas panicked on %x: %v", data, r)
+				ok = false
+			}
+		}()
+		_, _ = DecodeAtlas(bytes.NewReader(data))
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Every prefix of a valid snapshot must error cleanly, never panic: a
+// crash during a non-atomic copy produces exactly this shape.
+func TestAtlasDecodeNeverPanicsOnTruncation(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	if err := EncodeAtlas(&buf, sampleSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for n := 0; n < len(raw); n++ {
+		decodeNeverPanics(t, "truncation", raw[:n])
+	}
+}
+
+// Flipping any byte of a valid snapshot must not panic; most flips must
+// also fail to decode (corruption detection), though flips inside string
+// values may legitimately survive.
+func TestAtlasDecodeNeverPanicsOnBitFlips(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	if err := EncodeAtlas(&buf, sampleSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	mut := make([]byte, len(raw))
+	for i := 0; i < len(raw); i++ {
+		for _, b := range []byte{0x00, 0xff, raw[i] ^ 0x80, '-', '9'} {
+			copy(mut, raw)
+			mut[i] = b
+			decodeNeverPanics(t, "bitflip", mut)
+		}
+	}
+}
+
+// Hostile section counts must not translate into allocations before the
+// lines backing them exist.
+func TestAtlasDecodeHostileHeaderCounts(t *testing.T) {
+	t.Parallel()
+	for _, h := range []string{
+		`{"version":1,"kind":"atlas","nodes":123456789012}`,
+		`{"version":1,"kind":"atlas","edges":2147483647}`,
+		`{"version":1,"kind":"atlas","pairs":999999999,"diamonds":999999999}`,
+	} {
+		if _, err := DecodeAtlas(bytes.NewReader([]byte(h + "\n"))); err == nil {
+			t.Errorf("header %s: decode accepted a file with no section lines", h)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package traceio
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func sampleSnapshot() *AtlasSnapshot {
+	return &AtlasSnapshot{
+		Pairs: []AtlasPair{
+			{Pair: 0, Src: "192.0.2.1", Dst: "203.0.113.1"},
+			{Pair: 3, Src: "192.0.2.2", Dst: "203.0.113.4"},
+		},
+		Nodes: []AtlasNode{
+			{Addr: "10.0.0.1", Seen: [][2]int{{0, 1}, {3, 2}}},
+			{Addr: "10.0.0.2", Seen: [][2]int{{0, 2}}},
+			{Addr: "10.0.0.3", Seen: [][2]int{{3, 3}}},
+		},
+		Edges: []AtlasEdge{{0, 1}, {0, 2}},
+		Routers: []AtlasRouter{
+			{Addrs: []string{"10.0.0.2", "10.0.0.3"}},
+		},
+		Diamonds: []AtlasDiamond{
+			{Div: "10.0.0.1", Conv: "10.0.0.9", Count: 3, Pairs: []int{0, 3}, MaxWidth: 4, MaxLength: 2},
+		},
+	}
+}
+
+// The snapshot codec round-trips byte-stably: decode then re-encode
+// yields the identical bytes, so snapshot files can be compared with
+// byte equality across runs.
+func TestAtlasRoundTripByteStable(t *testing.T) {
+	t.Parallel()
+	s := sampleSnapshot()
+	var first bytes.Buffer
+	if err := EncodeAtlas(&first, s); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeAtlas(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dec, s) {
+		t.Fatalf("decoded snapshot differs:\n got %+v\nwant %+v", dec, s)
+	}
+	var second bytes.Buffer
+	if err := EncodeAtlas(&second, dec); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("re-encoded snapshot differs:\n%q\nvs\n%q", first.Bytes(), second.Bytes())
+	}
+}
+
+func TestAtlasEmptyRoundTrip(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	if err := EncodeAtlas(&buf, &AtlasSnapshot{}); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeAtlas(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Pairs)+len(dec.Nodes)+len(dec.Edges)+len(dec.Routers)+len(dec.Diamonds) != 0 {
+		t.Fatalf("empty snapshot decoded non-empty: %+v", dec)
+	}
+}
+
+func TestAtlasFileAtomicWrite(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "a.atlas")
+	s := sampleSnapshot()
+	if err := WriteAtlasFile(path, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAtlasFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, s) {
+		t.Fatalf("loaded snapshot differs from saved one")
+	}
+}
+
+func TestAtlasDecodeRejections(t *testing.T) {
+	t.Parallel()
+	cases := map[string]string{
+		"empty":          "",
+		"not json":       "hop 0: 10.0.0.1\n",
+		"wrong kind":     `{"version":1,"kind":"survey"}` + "\n",
+		"wrong version":  `{"version":99,"kind":"atlas"}` + "\n",
+		"negative count": `{"version":1,"kind":"atlas","nodes":-2}` + "\n",
+		"missing nodes":  `{"version":1,"kind":"atlas","nodes":3}` + "\n" + `{"addr":"10.0.0.1"}` + "\n",
+		"edge oob": `{"version":1,"kind":"atlas","nodes":1,"edges":1}` + "\n" +
+			`{"addr":"10.0.0.1"}` + "\n" + `[0,7]` + "\n",
+		"singleton router": `{"version":1,"kind":"atlas","routers":1}` + "\n" +
+			`{"addrs":["10.0.0.1"]}` + "\n",
+		"trailing data":                   `{"version":1,"kind":"atlas"}` + "\n" + `{"addr":"x"}` + "\n",
+		"trailing data after blank lines": `{"version":1,"kind":"atlas"}` + "\n\n\n" + `{"addr":"x"}` + "\n",
+		"huge header":                     `{"version":1,"kind":"atlas","nodes":1000000000000}` + "\n",
+	}
+	for name, in := range cases {
+		if _, err := DecodeAtlas(bytes.NewReader([]byte(in))); err == nil {
+			t.Errorf("%s: decode accepted invalid input", name)
+		}
+	}
+}
