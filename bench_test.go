@@ -321,6 +321,7 @@ func BenchmarkSurveyParallel(b *testing.B) { benchSurveyWorkers(b, runtime.GOMAX
 func benchSurveyWorkers(b *testing.B, workers int) {
 	b.Helper()
 	u := survey.Generate(survey.GenConfig{Seed: 5, Pairs: 200})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := survey.Run(u, survey.RunConfig{
@@ -345,6 +346,7 @@ func benchSurveyWorkers(b *testing.B, workers int) {
 func BenchmarkSurveyStreaming(b *testing.B) {
 	u := survey.Generate(survey.GenConfig{Seed: 5, Pairs: 200})
 	dir := b.TempDir()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		jsonl := survey.NewJSONLSink(filepath.Join(dir, "records.jsonl"))
@@ -369,7 +371,12 @@ func BenchmarkSurveyStreaming(b *testing.B) {
 }
 
 // BenchmarkSimProbeRoundTrip measures one full probe round trip through
-// the simulator (serialize, route, craft reply, parse).
+// the prober and simulator (serialize, route, craft reply, parse): the
+// hot path of every survey. In steady state it is allocation-free — the
+// probe serializes into prober scratch, the session crafts the reply into
+// session scratch and the parsed reply comes from a chunked arena; see
+// internal/fakeroute's BenchmarkProbeRoundTrip for the session-level
+// breakdown (memoized walk vs fresh walk vs per-packet bypass).
 func BenchmarkSimProbeRoundTrip(b *testing.B) {
 	net, _ := fakeroute.BuildScenario(1, benchSrc, benchDst, fakeroute.MeshedDiamond48)
 	p := probe.NewSimProber(net, benchSrc, benchDst)

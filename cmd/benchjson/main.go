@@ -1,15 +1,25 @@
 // Command benchjson converts `go test -bench` text output into a
 // machine-readable JSON array, so CI can archive the performance
-// trajectory as structured data instead of raw logs.
+// trajectory as structured data instead of raw logs, and compares two
+// such archives for regressions.
 //
 // Usage:
 //
-//	go test -bench=. -benchtime=1x ./... | tee bench.txt
+//	go test -bench=. -benchtime=1x -benchmem ./... | tee bench.txt
 //	benchjson -in bench.txt -out bench.json
+//	benchjson -compare old.json new.json -max-regress 15%
 //
 // Unknown lines (goos/goarch/cpu, PASS, ok) are skipped; `pkg:` lines
-// attribute subsequent benchmarks to their package. Custom metrics
-// (e.g. pairs/s) land in "extra".
+// attribute subsequent benchmarks to their package. ns/op, B/op and
+// allocs/op land in dedicated fields; custom metrics (e.g. pairs/s) in
+// "extra".
+//
+// Compare mode matches benchmarks by (pkg, name) — the GOMAXPROCS "-N"
+// suffix is stripped so runs from machines with different core counts
+// still line up — and exits nonzero if any benchmark's ns/op or
+// allocs/op grew by more than -max-regress (default 15%; accepts "15%"
+// or "0.15"). Benchmarks present on only one side are reported but never
+// fail the comparison.
 package main
 
 import (
@@ -18,7 +28,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -83,7 +95,210 @@ func Parse(r io.Reader) ([]Result, error) {
 	return out, sc.Err()
 }
 
+// exactKey is the verbatim benchmark identity.
+func exactKey(r Result) string { return r.Pkg + "." + r.Name }
+
+// benchKey is the fuzzy comparison identity: package plus name with a
+// trailing "-<number>" suffix stripped, so a GOMAXPROCS-suffixed run
+// ("BenchmarkX-8") lines up with a baseline from a machine with a
+// different core count. It is only consulted when exact names do not
+// match, so a sub-benchmark whose own name ends in "-<number>" (which a
+// GOMAXPROCS=1 run emits unsuffixed) is never truncated when both sides
+// agree on the name.
+func benchKey(r Result) string {
+	name := r.Name
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	return r.Pkg + "." + name
+}
+
+// Regression describes one metric that grew beyond the allowed bound.
+type Regression struct {
+	Key      string
+	Metric   string
+	Old, New float64
+}
+
+func (r Regression) String() string {
+	if r.Old == 0 {
+		return fmt.Sprintf("REGRESS %s %s: %.6g -> %.6g (was zero)",
+			r.Key, r.Metric, r.Old, r.New)
+	}
+	return fmt.Sprintf("REGRESS %s %s: %.6g -> %.6g (%+.1f%%)",
+		r.Key, r.Metric, r.Old, r.New, 100*(r.New-r.Old)/r.Old)
+}
+
+// Compare reports the regressions of new vs old: benchmarks whose ns/op
+// or allocs/op grew by more than maxRegress (a fraction: 0.15 = 15%).
+// A metric that is zero in old regresses if it is nonzero in new. The
+// second return value lists informational lines (improvements, missing
+// or added benchmarks) for human consumption.
+//
+// Benchmarks match by exact (pkg, name) first; an entry with no exact
+// partner falls back to its GOMAXPROCS-suffix-stripped key (see
+// benchKey). A fallback key shared by several baseline entries is
+// ambiguous and reported as a note rather than compared.
+func Compare(base, head []Result, maxRegress float64) (regressions []Regression, notes []string) {
+	oldExact := make(map[string]Result, len(base))
+	// The fallback index lists every baseline entry under both its exact
+	// and its stripped key, so a suffixed head entry finds an unsuffixed
+	// baseline (GOMAXPROCS=1 recording) and vice versa.
+	oldFuzzy := make(map[string][]Result, len(base))
+	for _, r := range base {
+		oldExact[exactKey(r)] = r
+		oldFuzzy[exactKey(r)] = append(oldFuzzy[exactKey(r)], r)
+		if k := benchKey(r); k != exactKey(r) {
+			oldFuzzy[k] = append(oldFuzzy[k], r)
+		}
+	}
+	matched := make(map[string]bool, len(base)) // by exactKey of the baseline entry
+	for _, n := range head {
+		key := exactKey(n)
+		o, ok := oldExact[key]
+		if !ok {
+			switch cands := oldFuzzy[benchKey(n)]; len(cands) {
+			case 1:
+				o, ok = cands[0], true
+			case 0:
+			default:
+				notes = append(notes, fmt.Sprintf("ambiguous baseline for %s (%d candidates), skipped", key, len(cands)))
+				// The candidates were seen, just not comparable; don't
+				// also report them as disappeared.
+				for _, c := range cands {
+					matched[exactKey(c)] = true
+				}
+				continue
+			}
+		}
+		if !ok {
+			notes = append(notes, fmt.Sprintf("new benchmark %s (no baseline)", key))
+			continue
+		}
+		matched[exactKey(o)] = true
+		for _, m := range []struct {
+			metric   string
+			old, new float64
+		}{
+			{"ns/op", o.NsPerOp, n.NsPerOp},
+			{"allocs/op", o.AllocsPerOp, n.AllocsPerOp},
+		} {
+			switch {
+			case m.new > m.old*(1+maxRegress):
+				regressions = append(regressions, Regression{Key: key, Metric: m.metric, Old: m.old, New: m.new})
+			case m.old > 0 && m.new < m.old*(1-maxRegress):
+				notes = append(notes, fmt.Sprintf("improved %s %s: %.6g -> %.6g (%+.1f%%)",
+					key, m.metric, m.old, m.new, 100*(m.new-m.old)/m.old))
+			}
+		}
+	}
+	for _, r := range base {
+		if !matched[exactKey(r)] {
+			notes = append(notes, fmt.Sprintf("benchmark %s disappeared (was in baseline)", exactKey(r)))
+		}
+	}
+	sort.Slice(regressions, func(i, j int) bool {
+		if regressions[i].Key != regressions[j].Key {
+			return regressions[i].Key < regressions[j].Key
+		}
+		return regressions[i].Metric < regressions[j].Metric
+	})
+	sort.Strings(notes)
+	return regressions, notes
+}
+
+// parseMaxRegress accepts "15%" or a bare fraction like "0.15".
+func parseMaxRegress(s string) (float64, error) {
+	pct := strings.HasSuffix(s, "%")
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil || v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		// NaN would make every threshold comparison false and silently
+		// disable the gate; reject it like any other bad input.
+		return 0, fmt.Errorf("benchjson: bad -max-regress %q", s)
+	}
+	if !pct && v > 1 {
+		return 0, fmt.Errorf("benchjson: -max-regress %q > 1; write a percentage as %q", s, s+"%")
+	}
+	if pct {
+		v /= 100
+	}
+	return v, nil
+}
+
+func loadResults(path string) ([]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []Result
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("benchjson: %s: %v", path, err)
+	}
+	return out, nil
+}
+
+// runCompare implements `benchjson -compare old.json new.json
+// [-max-regress 15%]`, returning the process exit code. Flags may appear
+// before or after the two positional paths.
+func runCompare(args []string) int {
+	maxRegress := 0.15
+	var paths []string
+	for i := 0; i < len(args); i++ {
+		switch {
+		case args[i] == "-max-regress" || args[i] == "--max-regress":
+			if i+1 >= len(args) {
+				fmt.Fprintln(os.Stderr, "benchjson: -max-regress needs a value")
+				return 2
+			}
+			i++
+			v, err := parseMaxRegress(args[i])
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 2
+			}
+			maxRegress = v
+		case strings.HasPrefix(args[i], "-"):
+			fmt.Fprintf(os.Stderr, "benchjson: unknown compare flag %s\n", args[i])
+			return 2
+		default:
+			paths = append(paths, args[i])
+		}
+	}
+	if len(paths) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchjson -compare old.json new.json [-max-regress 15%]")
+		return 2
+	}
+	base, err := loadResults(paths[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	head, err := loadResults(paths[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	regressions, notes := Compare(base, head, maxRegress)
+	for _, n := range notes {
+		fmt.Println(n)
+	}
+	for _, r := range regressions {
+		fmt.Println(r)
+	}
+	if len(regressions) > 0 {
+		fmt.Printf("%d regression(s) beyond %.0f%%\n", len(regressions), maxRegress*100)
+		return 1
+	}
+	fmt.Printf("no regressions beyond %.0f%% (%d benchmarks compared)\n", maxRegress*100, len(head))
+	return 0
+}
+
 func main() {
+	if len(os.Args) > 1 && (os.Args[1] == "-compare" || os.Args[1] == "--compare") {
+		os.Exit(runCompare(os.Args[2:]))
+	}
 	var (
 		in  = flag.String("in", "", "bench text input (default stdin)")
 		out = flag.String("out", "", "JSON output (default stdout)")

@@ -52,3 +52,149 @@ func TestParseRejectsCorruptValues(t *testing.T) {
 		t.Fatal("corrupt value must error")
 	}
 }
+
+func TestParseBenchmemColumns(t *testing.T) {
+	got, err := Parse(strings.NewReader(
+		"pkg: mmlpt/internal/fakeroute\nBenchmarkProbeRoundTrip/memoized-8 \t 100000 \t 231.8 ns/op \t 0 B/op \t 0 allocs/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("parsed %d results, want 1", len(got))
+	}
+	r := got[0]
+	if r.NsPerOp != 231.8 || r.BytesPerOp != 0 || r.AllocsPerOp != 0 || r.Extra != nil {
+		t.Fatalf("benchmem columns misparsed: %+v", r)
+	}
+}
+
+func TestBenchKeyStripsGOMAXPROCS(t *testing.T) {
+	a := Result{Pkg: "p", Name: "BenchmarkX-8"}
+	b := Result{Pkg: "p", Name: "BenchmarkX-16"}
+	c := Result{Pkg: "p", Name: "BenchmarkX"}
+	if benchKey(a) != benchKey(b) || benchKey(a) != benchKey(c) {
+		t.Fatalf("keys differ: %q %q %q", benchKey(a), benchKey(b), benchKey(c))
+	}
+	// A trailing sub-benchmark name is not a core-count suffix.
+	d := Result{Pkg: "p", Name: "BenchmarkX/sub-case"}
+	if benchKey(d) == benchKey(a) {
+		t.Fatal("sub-benchmark name collapsed into parent key")
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	base := []Result{
+		{Pkg: "p", Name: "BenchmarkFast-8", NsPerOp: 100, AllocsPerOp: 10},
+		{Pkg: "p", Name: "BenchmarkZero-8", NsPerOp: 100, AllocsPerOp: 0},
+		{Pkg: "p", Name: "BenchmarkGone-8", NsPerOp: 5},
+	}
+	head := []Result{
+		{Pkg: "p", Name: "BenchmarkFast-16", NsPerOp: 120, AllocsPerOp: 10}, // +20% ns/op
+		{Pkg: "p", Name: "BenchmarkZero-16", NsPerOp: 90, AllocsPerOp: 1},   // 0 -> 1 alloc
+		{Pkg: "p", Name: "BenchmarkNew-16", NsPerOp: 1},
+	}
+	regs, notes := Compare(base, head, 0.15)
+	if len(regs) != 2 {
+		t.Fatalf("regressions %v, want ns/op on Fast and allocs/op on Zero", regs)
+	}
+	if regs[0].Key != "p.BenchmarkFast-16" || regs[0].Metric != "ns/op" {
+		t.Fatalf("first regression %+v", regs[0])
+	}
+	if regs[1].Key != "p.BenchmarkZero-16" || regs[1].Metric != "allocs/op" {
+		t.Fatalf("second regression %+v", regs[1])
+	}
+	joined := strings.Join(notes, "\n")
+	if !strings.Contains(joined, "BenchmarkGone") || !strings.Contains(joined, "BenchmarkNew") {
+		t.Fatalf("notes missing added/removed benchmarks: %v", notes)
+	}
+}
+
+func TestCompareExactNameBeatsSuffixStripping(t *testing.T) {
+	// A sub-benchmark whose own name ends in "-<number>" (emitted
+	// unsuffixed under GOMAXPROCS=1) must match its identically-named
+	// baseline entry verbatim, not be truncated into a sibling.
+	base := []Result{
+		{Pkg: "p", Name: "BenchmarkX/pairs-100", NsPerOp: 50},
+		{Pkg: "p", Name: "BenchmarkX/pairs-200", NsPerOp: 100},
+	}
+	head := []Result{
+		{Pkg: "p", Name: "BenchmarkX/pairs-100", NsPerOp: 50},
+		{Pkg: "p", Name: "BenchmarkX/pairs-200", NsPerOp: 200}, // +100% vs its own baseline
+	}
+	regs, notes := Compare(base, head, 0.15)
+	if len(regs) != 1 || regs[0].Old != 100 || regs[0].New != 200 {
+		t.Fatalf("regressions %v notes %v, want exactly pairs-200 ns/op 100->200", regs, notes)
+	}
+}
+
+func TestCompareSuffixedHeadFindsUnsuffixedBaseline(t *testing.T) {
+	// Baseline recorded under GOMAXPROCS=1 (no -N suffix) on a
+	// numeric-parameter sub-benchmark; a multi-core head run still finds
+	// it, because the fallback index lists entries under both keys.
+	base := []Result{{Pkg: "p", Name: "BenchmarkX/pairs-100", NsPerOp: 50}}
+	head := []Result{{Pkg: "p", Name: "BenchmarkX/pairs-100-8", NsPerOp: 500}}
+	regs, notes := Compare(base, head, 0.15)
+	if len(regs) != 1 || regs[0].Old != 50 || regs[0].New != 500 {
+		t.Fatalf("regressions %v notes %v, want ns/op 50->500", regs, notes)
+	}
+}
+
+func TestCompareAmbiguousFallbackSkipped(t *testing.T) {
+	// The head's stripped key matches two distinct baseline entries; it
+	// is skipped with a note instead of compared against an arbitrary
+	// one.
+	base := []Result{
+		{Pkg: "p", Name: "BenchmarkX/pairs-100", NsPerOp: 50},
+		{Pkg: "p", Name: "BenchmarkX/pairs", NsPerOp: 10},
+	}
+	head := []Result{{Pkg: "p", Name: "BenchmarkX/pairs-4", NsPerOp: 500}}
+	regs, notes := Compare(base, head, 0.15)
+	if len(regs) != 0 {
+		t.Fatalf("ambiguous match produced regressions: %v", regs)
+	}
+	joined := strings.Join(notes, "\n")
+	if !strings.Contains(joined, "ambiguous") {
+		t.Fatalf("missing ambiguity note: %v", notes)
+	}
+	if strings.Contains(joined, "disappeared") {
+		t.Fatalf("ambiguous candidates double-reported as disappeared: %v", notes)
+	}
+}
+
+func TestRegressionStringZeroBaseline(t *testing.T) {
+	s := Regression{Key: "p.B", Metric: "allocs/op", Old: 0, New: 3}.String()
+	if strings.Contains(s, "Inf") || !strings.Contains(s, "was zero") {
+		t.Fatalf("zero-baseline regression renders %q", s)
+	}
+}
+
+func TestCompareWithinBoundPasses(t *testing.T) {
+	base := []Result{{Pkg: "p", Name: "BenchmarkX", NsPerOp: 100, AllocsPerOp: 10}}
+	head := []Result{{Pkg: "p", Name: "BenchmarkX", NsPerOp: 114, AllocsPerOp: 11}}
+	if regs, _ := Compare(base, head, 0.15); len(regs) != 0 {
+		t.Fatalf("within-bound drift flagged: %v", regs)
+	}
+}
+
+func TestParseMaxRegress(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want float64
+		err  bool
+	}{
+		{"15%", 0.15, false},
+		{"150%", 1.5, false},
+		{"0.15", 0.15, false},
+		{"0", 0, false},
+		{"-5%", 0, true},
+		{"15", 0, true}, // a forgotten % must not become 1500%
+		{"NaN", 0, true},
+		{"+Inf", 0, true},
+		{"x", 0, true},
+	} {
+		got, err := parseMaxRegress(tc.in)
+		if (err != nil) != tc.err || (!tc.err && got != tc.want) {
+			t.Fatalf("parseMaxRegress(%q) = %v, %v; want %v err=%v", tc.in, got, err, tc.want, tc.err)
+		}
+	}
+}

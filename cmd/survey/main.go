@@ -25,6 +25,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"mmlpt/internal/atlas"
@@ -51,9 +53,13 @@ func main() {
 		every       = flag.Int("checkpoint-every", survey.DefaultCheckpointEvery, "records between checkpoints")
 		resume      = flag.Bool("resume", false, "resume from the checkpoint, skipping completed pairs")
 		prog        = flag.Bool("progress", false, "report pair/probe rates to stderr while running")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		memProfile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 
+	// Usage validation happens before profiling starts, so usage-error
+	// exits never leave a truncated CPU profile behind.
 	outPath := *out
 	if outPath == "" {
 		outPath = *jsonl
@@ -70,6 +76,53 @@ func main() {
 		// would silently cover only the resumed tail.
 		fmt.Fprintln(os.Stderr, "-resume requires -out (the JSONL record log is what resume replays)")
 		os.Exit(2)
+	}
+	switch *level {
+	case "ip", "router":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown level %q (ip or router)\n", *level)
+		os.Exit(2)
+	}
+
+	// flushProfiles finalizes any active profiles. It is deferred for the
+	// normal return path and called by fail() before os.Exit, so a run
+	// that errors after the survey still leaves usable profiles behind.
+	var cpuFile *os.File
+	profilesDone := false
+	flushProfiles := func() {
+		if profilesDone {
+			return
+		}
+		profilesDone = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if *memProfile != "" {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the steady-state heap before sampling
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}
+	}
+	defer flushProfiles()
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cpuFile = f
 	}
 
 	cfg := experiments.SurveyConfig{
@@ -112,6 +165,7 @@ func main() {
 			return
 		}
 		fmt.Fprintln(os.Stderr, err)
+		flushProfiles() // os.Exit skips defers; keep partial-run profiles usable
 		os.Exit(1)
 	}
 	finish := func(res *survey.Result) {
@@ -172,8 +226,5 @@ func main() {
 			fmt.Println(experiments.FormatFig13(res, recs))
 			fmt.Println(experiments.FormatFig14(res, recs))
 		}
-	default:
-		fmt.Fprintf(os.Stderr, "unknown level %q (ip or router)\n", *level)
-		os.Exit(2)
 	}
 }

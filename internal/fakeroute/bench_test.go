@@ -1,0 +1,60 @@
+package fakeroute
+
+import (
+	"testing"
+
+	"mmlpt/internal/packet"
+)
+
+// BenchmarkProbeRoundTrip measures one full simulated probe round trip at
+// the session level: serialize → HandleProbe (parse, forward, craft
+// reply). The memoized sub-benchmark is the hot path the survey runs on
+// (per-flow balancing, no loss, no rate limiting) and must report
+// 0 allocs/op in steady state; fresh-walk forces the memo off to price
+// the walk itself; perpacket exercises the RNG-drawing bypass path.
+func BenchmarkProbeRoundTrip(b *testing.B) {
+	run := func(b *testing.B, configure func(*Network, *Path)) {
+		b.Helper()
+		net, path := BuildScenario(1, tSrc, tDst, MeshedDiamond48)
+		if configure != nil {
+			configure(net, path)
+		}
+		s := net.SessionFor(tSrc, tDst)
+		var buf []byte
+		// Warm up: compile tables, size scratch buffers, populate the
+		// walk cache for every flow the loop will replay.
+		for f := 0; f < 256; f++ {
+			pr := packet.Probe{Src: tSrc, Dst: tDst, FlowID: uint16(f), TTL: byte(1 + f%6), Checksum: uint16(f + 1)}
+			buf = pr.AppendTo(buf[:0])
+			s.HandleProbe(buf)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pr := packet.Probe{Src: tSrc, Dst: tDst, FlowID: uint16(i % 256), TTL: byte(1 + i%6), Checksum: uint16(i%1000 + 1)}
+			buf = pr.AppendTo(buf[:0])
+			s.HandleProbe(buf)
+		}
+	}
+	b.Run("memoized", func(b *testing.B) { run(b, nil) })
+	b.Run("freshwalk", func(b *testing.B) {
+		run(b, func(n *Network, _ *Path) { n.disableWalkMemo = true })
+	})
+	b.Run("perpacket", func(b *testing.B) {
+		run(b, func(_ *Network, p *Path) { p.LB[p.Graph.Hop(0)[0]] = LBPerPacket })
+	})
+}
+
+// BenchmarkEchoRoundTrip measures a direct echo probe round trip.
+func BenchmarkEchoRoundTrip(b *testing.B) {
+	net, path := BuildScenario(2, tSrc, tDst, SimplestDiamond)
+	addr := path.Graph.V(path.Graph.Hop(0)[0]).Addr
+	s := net.SessionFor(tSrc, tDst)
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ep := packet.EchoProbe{Src: tSrc, Dst: addr, ID: 7, Seq: uint16(i), IPID: uint16(i)}
+		buf = ep.AppendTo(buf[:0])
+		s.HandleProbe(buf)
+	}
+}

@@ -49,6 +49,14 @@ type Path struct {
 	// (1). The alternate graph's interfaces must be registered.
 	Alt   *topo.Graph
 	AltAt uint64
+
+	// Lazily-built dense forwarding tables, one per graph generation
+	// (see compiled.go). Compilation happens at first probe, after all
+	// LB/WeightedEdges/Alt configuration is done (the construction-
+	// before-probing contract).
+	compileMu    sync.Mutex
+	compiledMain atomic.Pointer[compiledPath]
+	compiledAlt  atomic.Pointer[compiledPath]
 }
 
 // activeGraph returns the topology in force at tick now.
@@ -79,6 +87,11 @@ type Network struct {
 	// (models ICMP rate limiting noise and loss; default 0). Set it
 	// before probing begins.
 	LossProb float64
+
+	// disableWalkMemo turns off flow-walk memoization, forcing every
+	// probe through the fresh TTL-bounded walk. Test hook only: output
+	// must be byte-identical either way (see TestWalkMemoByteIdentical).
+	disableWalkMemo bool
 
 	// clockBase is advanced by AdvanceClock (atomic); every session adds
 	// it to its own tick counter.
@@ -226,8 +239,12 @@ func (n *Network) Paths() []*Path {
 // That property is what makes a parallel survey run byte-identical to a
 // serial one.
 //
-// A Session serializes its own probe handling with a mutex, so it is safe
-// (though pointless) for two goroutines to share one.
+// A Session serializes its own probe handling with a mutex, but the
+// reply slice HandleProbe returns is session-owned scratch, valid only
+// until the session's next HandleProbe call — goroutines sharing one
+// session must therefore coordinate so each caller copies or parses its
+// reply before the next probe is handled (a single SimProber does this
+// by serializing the whole exchange).
 type Session struct {
 	net *Network
 	key PathKey
@@ -238,6 +255,18 @@ type Session struct {
 	routers map[*Router]*ctrView
 	ifaces  map[*Iface]*ctrView
 	buckets map[*Router]*bucket
+
+	// Memoized flow walks over compiled graph generations (compiled.go).
+	walks map[walkKey][]topo.VertexID
+
+	// Reusable scratch for the zero-allocation probe hot path: the
+	// parsed probe, the quoted-datagram copy, the ICMP body, and the
+	// outgoing reply. All are used only under mu; outBuf backs the slice
+	// HandleProbe returns.
+	pp       packet.ParsedProbe
+	quoteBuf []byte
+	bodyBuf  []byte
+	outBuf   []byte
 }
 
 // ctrView is a session's view of one IP ID counter.
@@ -287,12 +316,22 @@ func (n *Network) SessionFor(src, dst packet.Addr) *Session {
 // Session from SessionFor and call its HandleProbe instead, so that both
 // probe families sample the same counter views (the Monotonic Bounds Test
 // depends on that).
+//
+// The returned reply slice is owned by that session and valid only until
+// the session's next HandleProbe call; callers that retain reply bytes
+// must copy them.
+//
+// A packet too short to carry an IPv4 header is dropped here, before the
+// session lookup: it has no addresses, so routing it to the zero-pair
+// session would materialize a spurious (0.0.0.0, 0.0.0.0) session.
 func (n *Network) HandleProbe(raw []byte) []byte {
-	var src, dst packet.Addr
-	if len(raw) >= packet.IPv4HeaderLen {
-		src = packet.Addr(uint32(raw[12])<<24 | uint32(raw[13])<<16 | uint32(raw[14])<<8 | uint32(raw[15]))
-		dst = packet.Addr(uint32(raw[16])<<24 | uint32(raw[17])<<16 | uint32(raw[18])<<8 | uint32(raw[19]))
+	if len(raw) < packet.IPv4HeaderLen {
+		atomic.AddUint64(&n.ProbesSeen, 1)
+		atomic.AddUint64(&n.Dropped, 1)
+		return nil
 	}
+	src := packet.Addr(uint32(raw[12])<<24 | uint32(raw[13])<<16 | uint32(raw[14])<<8 | uint32(raw[15]))
+	dst := packet.Addr(uint32(raw[16])<<24 | uint32(raw[17])<<16 | uint32(raw[18])<<8 | uint32(raw[19]))
 	return n.SessionFor(src, dst).HandleProbe(raw)
 }
 
@@ -305,57 +344,6 @@ func (s *Session) AdvanceClock(ticks uint64) {
 	s.mu.Lock()
 	s.clock += ticks
 	s.mu.Unlock()
-}
-
-// nextVertex applies the load balancing policy of vertex v for the probe,
-// over the topology g in force at this tick.
-func (s *Session) nextVertex(p *Path, g *topo.Graph, v topo.VertexID, pp *packet.ParsedProbe) topo.VertexID {
-	succ := g.Succ(v)
-	switch len(succ) {
-	case 0:
-		return topo.None
-	case 1:
-		return succ[0]
-	}
-	mode := p.LB[v]
-	var idx int
-	if w := p.WeightedEdges[v]; w != nil {
-		// Weighted dispatch: hash the flow into [0,1) deterministically
-		// and walk the cumulative weights, so one flow still sticks to
-		// one successor.
-		var x float64
-		switch mode {
-		case LBPerPacket:
-			x = s.rng.Float64()
-		case LBPerDestination:
-			x = float64(nprand.FlowHash(vertexKey(p, g, v), uint64(pp.IP.Dst))>>11) / (1 << 53)
-		default:
-			x = float64(nprand.FlowHash(vertexKey(p, g, v), pp.FlowKey())>>11) / (1 << 53)
-		}
-		var total float64
-		for _, wi := range w {
-			total += wi
-		}
-		x *= total
-		for i, wi := range w {
-			x -= wi
-			if x < 0 {
-				idx = i
-				break
-			}
-			idx = i
-		}
-		return succ[idx]
-	}
-	switch mode {
-	case LBPerPacket:
-		idx = s.rng.Intn(len(succ))
-	case LBPerDestination:
-		idx = int(nprand.FlowHash(vertexKey(p, g, v), uint64(pp.IP.Dst)) % uint64(len(succ)))
-	default:
-		idx = int(nprand.FlowHash(vertexKey(p, g, v), pp.FlowKey()) % uint64(len(succ)))
-	}
-	return succ[idx]
 }
 
 // vertexKey is the stable per-load-balancer hash key. Star vertices have
@@ -371,6 +359,12 @@ func vertexKey(p *Path, g *topo.Graph, v topo.VertexID) uint64 {
 // HandleProbe accepts one serialized probe packet and returns the
 // serialized reply, or nil if the probe is dropped (loss, rate limiting,
 // star hop, or no reply per the topology).
+//
+// The returned slice is owned by the session and valid only until the
+// session's next HandleProbe call: the reply is crafted into a reusable
+// scratch buffer so the steady-state round trip allocates nothing.
+// Callers that retain reply bytes must copy them (the usual caller,
+// packet.ParseReplyInto, retains nothing).
 func (s *Session) HandleProbe(raw []byte) []byte {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -388,35 +382,53 @@ func (s *Session) HandleProbe(raw []byte) []byte {
 		return s.handleEcho(raw, now)
 	}
 
-	pp, err := packet.ParseProbe(raw)
-	if err != nil {
+	if err := packet.ParseProbeInto(&s.pp, raw); err != nil {
 		atomic.AddUint64(&n.Dropped, 1)
 		return nil
 	}
+	pp := &s.pp
 	p := n.paths[PathKey{Src: pp.IP.Src, Dst: pp.IP.Dst}]
 	if p == nil {
 		atomic.AddUint64(&n.Dropped, 1)
 		return nil
 	}
 	g := p.activeGraph(now)
-	dstHop := g.NumHops() - 1
-	cur := g.Hop(0)[0]
-	hop := 0
-	ttl := int(pp.IP.TTL)
+	cp := n.compiledFor(p, g)
+	flowKey := pp.FlowKey()
+
 	// The probe is forwarded until its TTL expires or it reaches the
-	// destination host. hop h is reached after h+1 TTL decrements.
-	for ttl > 1 && hop < dstHop {
-		next := s.nextVertex(p, g, cur, pp)
-		if next == topo.None {
-			break // dead end: silent drop (routing hole)
+	// destination host. hop h is reached after h+1 TTL decrements. When
+	// the walk is a pure function of the flow (cp.memoizable) and loss
+	// cannot consume an RNG draw, replay the memoized walk by TTL;
+	// otherwise walk fresh, drawing randomness exactly where the original
+	// per-probe loop would.
+	var cur topo.VertexID
+	var hop int
+	if cp.memoizable && !n.disableWalkMemo && n.LossProb == 0 {
+		seq := s.walkFor(cp, pp, flowKey)
+		hop = int(pp.IP.TTL) - 1
+		if hop > len(seq)-1 {
+			hop = len(seq) - 1
 		}
-		cur = next
-		hop++
-		ttl--
+		if hop < 0 {
+			hop = 0
+		}
+		cur = seq[hop]
+	} else {
+		cur = cp.entry
+		ttl := int(pp.IP.TTL)
+		for ttl > 1 && hop < cp.dstHop {
+			next := s.nextVertex(cp, cur, pp, flowKey)
+			if next == topo.None {
+				break // dead end: silent drop (routing hole)
+			}
+			cur = next
+			hop++
+			ttl--
+		}
 	}
-	v := g.V(cur)
-	atDst := hop == dstHop
-	if v.Addr == topo.StarAddr {
+	atDst := hop == cp.dstHop
+	if cp.addr[cur] == topo.StarAddr {
 		atomic.AddUint64(&n.Dropped, 1)
 		return nil // star: the hop never answers
 	}
@@ -425,9 +437,9 @@ func (s *Session) HandleProbe(raw []byte) []byte {
 		return nil
 	}
 	if atDst {
-		return s.craftPortUnreachable(pp, v.Addr, hop, now)
+		return s.craftPortUnreachable(pp, cp.addr[cur], hop, now)
 	}
-	ifc := n.ifaces[v.Addr]
+	ifc := cp.iface[cur]
 	if ifc == nil {
 		atomic.AddUint64(&n.Dropped, 1)
 		return nil
@@ -440,20 +452,24 @@ func (s *Session) HandleProbe(raw []byte) []byte {
 }
 
 // craftTimeExceeded builds the ICMP Time Exceeded reply from ifc at
-// forward distance hop (0-based).
+// forward distance hop (0-based), into the session's scratch buffers.
 func (s *Session) craftTimeExceeded(pp *packet.ParsedProbe, ifc *Iface, hop int, probeRaw []byte, now uint64) []byte {
 	r := ifc.Router
+	// The router quotes the probe datagram as received: the full IP
+	// header plus payload (our probes are small, so the quote is whole).
+	// probeRaw is referenced directly — ICMP.SerializeTo copies the
+	// payload into the body buffer, and the caller's probe bytes stay
+	// untouched for the whole call.
 	icmp := packet.ICMP{
 		Type:    packet.ICMPTypeTimeExceeded,
 		Code:    packet.ICMPCodeTTLExceeded,
-		Payload: quoteProbe(probeRaw),
+		Payload: probeRaw,
 	}
 	if label := ifc.effectiveLabel(now); label != 0 {
 		icmp.Extensions = packet.EncodeMPLSExtension([]packet.MPLSLabelStackEntry{
 			{Label: label, S: true, TTL: 1},
 		})
 	}
-	body := icmp.SerializeTo(nil)
 	replyTTL := int(r.InitialTTLExceeded) - (hop + 1)
 	if replyTTL < 1 {
 		replyTTL = 1
@@ -465,10 +481,7 @@ func (s *Session) craftTimeExceeded(pp *packet.ParsedProbe, ifc *Iface, hop int,
 		Src:      ifc.Addr,
 		Dst:      pp.IP.Src,
 	}
-	buf := make([]byte, 0, packet.IPv4HeaderLen+len(body))
-	buf = ip.SerializeTo(buf, len(body))
-	atomic.AddUint64(&s.net.RepliesSent, 1)
-	return append(buf, body...)
+	return s.emitReply(&ip, &icmp)
 }
 
 // craftPortUnreachable builds the destination's ICMP Port Unreachable.
@@ -479,12 +492,12 @@ func (s *Session) craftPortUnreachable(pp *packet.ParsedProbe, dst packet.Addr, 
 		Src: pp.IP.Src, Dst: pp.IP.Dst,
 		FlowID: pp.FlowID, TTL: 1, Checksum: pp.Identity,
 	}
+	s.quoteBuf = quoted.AppendTo(s.quoteBuf[:0])
 	icmp := packet.ICMP{
 		Type:    packet.ICMPTypeDestUnreachable,
 		Code:    packet.ICMPCodePortUnreachable,
-		Payload: quoteProbe(quoted.Serialize()),
+		Payload: s.quoteBuf,
 	}
-	body := icmp.SerializeTo(nil)
 	replyTTL := 64 - (hop + 1)
 	if replyTTL < 1 {
 		replyTTL = 1
@@ -500,10 +513,19 @@ func (s *Session) craftPortUnreachable(pp *packet.ParsedProbe, dst packet.Addr, 
 		Src:      dst,
 		Dst:      pp.IP.Src,
 	}
-	buf := make([]byte, 0, packet.IPv4HeaderLen+len(body))
-	buf = ip.SerializeTo(buf, len(body))
+	return s.emitReply(&ip, &icmp)
+}
+
+// emitReply serializes outer IP + ICMP body into the session's scratch
+// reply buffer and returns it. The result aliases s.outBuf: valid until
+// the session's next HandleProbe.
+func (s *Session) emitReply(ip *packet.IPv4, icmp *packet.ICMP) []byte {
+	s.bodyBuf = icmp.SerializeTo(s.bodyBuf[:0])
+	out := ip.SerializeTo(s.outBuf[:0], len(s.bodyBuf))
+	out = append(out, s.bodyBuf...)
+	s.outBuf = out
 	atomic.AddUint64(&s.net.RepliesSent, 1)
-	return append(buf, body...)
+	return out
 }
 
 // handleEcho answers a direct ICMP Echo probe.
@@ -539,7 +561,6 @@ func (s *Session) handleEcho(raw []byte, now uint64) []byte {
 		return nil
 	}
 	reply := packet.ICMP{Type: packet.ICMPTypeEchoReply, ID: echo.ID, Seq: echo.Seq, Payload: echo.Payload}
-	rbody := reply.SerializeTo(nil)
 	ip := packet.IPv4{
 		ID:       s.nextIPID(ifc, false, outer.ID, now),
 		TTL:      r.InitialTTLEcho - 4, // nominal return distance
@@ -547,17 +568,5 @@ func (s *Session) handleEcho(raw []byte, now uint64) []byte {
 		Src:      outer.Dst,
 		Dst:      outer.Src,
 	}
-	buf := make([]byte, 0, packet.IPv4HeaderLen+len(rbody))
-	buf = ip.SerializeTo(buf, len(rbody))
-	atomic.AddUint64(&n.RepliesSent, 1)
-	return append(buf, rbody...)
-}
-
-// quoteProbe returns the portion of the probe a router quotes in an ICMP
-// error: the full IP header plus at least 8 bytes of payload (our probes
-// are small, so we quote them whole).
-func quoteProbe(raw []byte) []byte {
-	q := make([]byte, len(raw))
-	copy(q, raw)
-	return q
+	return s.emitReply(&ip, &reply)
 }

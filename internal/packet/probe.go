@@ -46,8 +46,18 @@ type Probe struct {
 // checksum.
 const probePayloadLen = 2
 
+// ProbeLen is the wire length of a serialized traceroute probe.
+const ProbeLen = IPv4HeaderLen + UDPHeaderLen + probePayloadLen
+
 // Serialize builds the full IPv4+UDP probe packet.
 func (p *Probe) Serialize() []byte {
+	return p.AppendTo(make([]byte, 0, ProbeLen))
+}
+
+// AppendTo appends the full IPv4+UDP probe packet to buf and returns the
+// extended slice. It emits exactly the bytes Serialize would, but lets a
+// hot path reuse one buffer across probes instead of allocating per probe.
+func (p *Probe) AppendTo(buf []byte) []byte {
 	if p.Checksum == 0 {
 		// A UDP checksum of zero means "not computed"; never use it as an
 		// identity value.
@@ -59,7 +69,8 @@ func (p *Probe) Serialize() []byte {
 		Length:   UDPHeaderLen + probePayloadLen,
 		Checksum: p.Checksum,
 	}
-	payload := pinPayload(p.Src, p.Dst, &udp, p.Checksum)
+	var payload [probePayloadLen]byte
+	binary.BigEndian.PutUint16(payload[:], pinPayloadWord(p.Src, p.Dst, &udp, p.Checksum))
 	ip := IPv4{
 		ID:       p.Checksum,
 		TTL:      p.TTL,
@@ -67,15 +78,14 @@ func (p *Probe) Serialize() []byte {
 		Src:      p.Src,
 		Dst:      p.Dst,
 	}
-	buf := make([]byte, 0, IPv4HeaderLen+UDPHeaderLen+probePayloadLen)
 	buf = ip.SerializeTo(buf, UDPHeaderLen+probePayloadLen)
-	buf = udp.SerializeTo(buf, p.Src, p.Dst, payload)
+	buf = udp.SerializeTo(buf, p.Src, p.Dst, payload[:])
 	return buf
 }
 
-// pinPayload computes the two payload bytes that make the UDP checksum
+// pinPayloadWord computes the two payload bytes that make the UDP checksum
 // field equal target while remaining a valid checksum.
-func pinPayload(src, dst Addr, udp *UDP, target uint16) []byte {
+func pinPayloadWord(src, dst Addr, udp *UDP, target uint16) uint16 {
 	// The ones-complement sum over pseudo-header + UDP header (with the
 	// checksum field set to target) + payload must equal 0xffff for the
 	// packet to verify. Compute the sum S with a zero payload word, then
@@ -89,12 +99,9 @@ func pinPayload(src, dst Addr, udp *UDP, target uint16) []byte {
 	for sum>>16 != 0 {
 		sum = sum&0xffff + sum>>16
 	}
-	p := 0xffff - uint16(sum)
-	// p == 0 is fine: a zero payload word contributes nothing and the sum
-	// already folds to 0xffff.
-	payload := make([]byte, probePayloadLen)
-	binary.BigEndian.PutUint16(payload, p)
-	return payload
+	// A zero word is fine: it contributes nothing and the sum already
+	// folds to 0xffff.
+	return 0xffff - uint16(sum)
 }
 
 // VerifyProbe checks that raw is a well-formed probe whose UDP checksum
@@ -134,22 +141,33 @@ type ParsedProbe struct {
 // ParseProbe parses raw probe bytes.
 func ParseProbe(raw []byte) (*ParsedProbe, error) {
 	var pp ParsedProbe
+	if err := ParseProbeInto(&pp, raw); err != nil {
+		return nil, err
+	}
+	return &pp, nil
+}
+
+// ParseProbeInto parses raw probe bytes into pp, overwriting every field,
+// so one ParsedProbe can be reused across probes without allocating. On
+// error pp's contents are unspecified.
+func ParseProbeInto(pp *ParsedProbe, raw []byte) error {
+	*pp = ParsedProbe{}
 	payload, err := pp.IP.DecodeFromBytes(raw)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if pp.IP.Protocol != ProtoUDP {
-		return nil, fmt.Errorf("packet: probe protocol %d, want UDP", pp.IP.Protocol)
+		return fmt.Errorf("packet: probe protocol %d, want UDP", pp.IP.Protocol)
 	}
 	if _, err := pp.UDP.DecodeFromBytes(payload); err != nil {
-		return nil, err
+		return err
 	}
 	if pp.UDP.SrcPort < DefaultSrcPortBase {
-		return nil, fmt.Errorf("packet: source port %d below flow base", pp.UDP.SrcPort)
+		return fmt.Errorf("packet: source port %d below flow base", pp.UDP.SrcPort)
 	}
 	pp.FlowID = pp.UDP.SrcPort - DefaultSrcPortBase
 	pp.Identity = pp.UDP.Checksum
-	return &pp, nil
+	return nil
 }
 
 // FlowKey returns the value a per-flow load balancer hashes: a canonical
@@ -206,25 +224,38 @@ func (r *Reply) IsEchoReply() bool { return r.Type == ICMPTypeEchoReply }
 
 // ParseReply parses raw ICMP reply bytes.
 func ParseReply(raw []byte) (*Reply, error) {
+	r := new(Reply)
+	if err := ParseReplyInto(r, raw); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// ParseReplyInto parses raw ICMP reply bytes into r, overwriting every
+// field, so one Reply can be reused across replies without allocating (the
+// MPLS stack, when present, is still freshly allocated: replies carrying
+// extensions are rare and the slice may outlive the next parse). On error
+// r's contents are unspecified. The parsed Reply holds no reference to
+// raw, so raw may be a transport-owned scratch buffer.
+func ParseReplyInto(r *Reply, raw []byte) error {
+	*r = Reply{}
 	var outer IPv4
 	body, err := outer.DecodeFromBytes(raw)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if outer.Protocol != ProtoICMP {
-		return nil, fmt.Errorf("packet: reply protocol %d, want ICMP", outer.Protocol)
+		return fmt.Errorf("packet: reply protocol %d, want ICMP", outer.Protocol)
 	}
 	var icmp ICMP
 	if err := icmp.DecodeFromBytes(body); err != nil {
-		return nil, err
+		return err
 	}
-	r := &Reply{
-		From:     outer.Src,
-		Type:     icmp.Type,
-		Code:     icmp.Code,
-		IPID:     outer.ID,
-		ReplyTTL: outer.TTL,
-	}
+	r.From = outer.Src
+	r.Type = icmp.Type
+	r.Code = icmp.Code
+	r.IPID = outer.ID
+	r.ReplyTTL = outer.TTL
 	switch icmp.Type {
 	case ICMPTypeEchoReply:
 		r.EchoID, r.EchoSeq = icmp.ID, icmp.Seq
@@ -249,7 +280,7 @@ func ParseReply(raw []byte) (*Reply, error) {
 			}
 		}
 	}
-	return r, nil
+	return nil
 }
 
 // EchoProbe describes a direct (ping-style) probe used by alias resolution.
@@ -259,10 +290,17 @@ type EchoProbe struct {
 	IPID     uint16
 }
 
+// EchoLen is the wire length of a serialized echo probe.
+const EchoLen = IPv4HeaderLen + ICMPHeaderLen
+
 // Serialize builds the full IPv4+ICMP Echo packet.
 func (e *EchoProbe) Serialize() []byte {
-	icmp := ICMP{Type: ICMPTypeEcho, ID: e.ID, Seq: e.Seq}
-	body := icmp.SerializeTo(nil)
+	return e.AppendTo(make([]byte, 0, EchoLen))
+}
+
+// AppendTo appends the full IPv4+ICMP Echo packet to buf and returns the
+// extended slice, emitting exactly the bytes Serialize would.
+func (e *EchoProbe) AppendTo(buf []byte) []byte {
 	ip := IPv4{
 		ID:       e.IPID,
 		TTL:      64,
@@ -270,7 +308,7 @@ func (e *EchoProbe) Serialize() []byte {
 		Src:      e.Src,
 		Dst:      e.Dst,
 	}
-	buf := make([]byte, 0, IPv4HeaderLen+len(body))
-	buf = ip.SerializeTo(buf, len(body))
-	return append(buf, body...)
+	buf = ip.SerializeTo(buf, ICMPHeaderLen)
+	icmp := ICMP{Type: ICMPTypeEcho, ID: e.ID, Seq: e.Seq}
+	return icmp.SerializeTo(buf)
 }

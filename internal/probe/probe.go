@@ -78,6 +78,12 @@ type Prober interface {
 // in-flight probes excluded from reuse (see nextSerial). All probes of
 // one SimProber flow through one fakeroute session, so direct and
 // indirect probes of a trace sample the same simulated counters.
+//
+// The round trip is allocation-free in steady state: probes serialize
+// into a reusable buffer, the session crafts its reply into session
+// scratch, and parsed replies come from a chunked arena (see replyArena)
+// rather than individual allocations. Returned replies are self-contained
+// and may be retained indefinitely, as before.
 type SimProber struct {
 	Net       *fakeroute.Network
 	Src, Dst_ packet.Addr
@@ -94,6 +100,39 @@ type SimProber struct {
 	sess     *fakeroute.Session
 	serial   uint16
 	inflight map[uint16]struct{}
+
+	// xmu serializes the wire exchange (serialize probe → HandleProbe →
+	// parse reply) so the scratch buffer and arena below can be reused
+	// across probes without allocating. The simulator session already
+	// serializes probe handling per trace, so this costs no parallelism:
+	// concurrent traces of distinct pairs use distinct probers.
+	xmu    sync.Mutex
+	pktBuf []byte
+	arena  replyArena
+}
+
+// replyArena hands out *packet.Reply values from chunked slabs: one heap
+// allocation per replyArenaChunk replies instead of one per reply.
+// Handed-out replies are never recycled — a chunk stays reachable as long
+// as any of its replies is — so callers may retain them indefinitely,
+// exactly as with individually allocated replies.
+type replyArena struct {
+	chunk []packet.Reply
+	used  int
+}
+
+// replyArenaChunk is the slab size: large enough to amortize allocation
+// to ~0 allocs/probe, small enough that a short trace wastes little.
+const replyArenaChunk = 256
+
+func (a *replyArena) next() *packet.Reply {
+	if a.used == len(a.chunk) {
+		a.chunk = make([]packet.Reply, replyArenaChunk)
+		a.used = 0
+	}
+	r := &a.chunk[a.used]
+	a.used++
+	return r
 }
 
 // NewSimProber returns a prober tracing src→dst over n.
@@ -176,6 +215,26 @@ func (p *SimProber) ProbeBatch(specs []Spec) []*packet.Reply {
 	return replies
 }
 
+// exchangeLocked completes one wire round trip whose probe bytes are
+// already serialized into pktBuf: it hands them to the session and
+// parses the session-owned reply bytes into an arena reply before the
+// next exchange can overwrite either buffer. Callers hold xmu across
+// serialize-into-pktBuf and this call (the packet types are concrete at
+// each call site so serialization stays allocation-free; an interface
+// here would heap-escape the packet struct). Returns nil on drop or
+// unparseable reply.
+func (p *SimProber) exchangeLocked(sess *fakeroute.Session) *packet.Reply {
+	raw := sess.HandleProbe(p.pktBuf)
+	if raw == nil {
+		return nil
+	}
+	r := p.arena.next()
+	if packet.ParseReplyInto(r, raw) != nil {
+		return nil
+	}
+	return r
+}
+
 func (p *SimProber) probeOne(sess *fakeroute.Session, flowID uint16, ttl int) *packet.Reply {
 	if flowID > packet.MaxFlowID {
 		panic("probe: flow ID out of range")
@@ -188,16 +247,14 @@ func (p *SimProber) probeOne(sess *fakeroute.Session, flowID uint16, ttl int) *p
 			FlowID: flowID, TTL: byte(ttl), Checksum: serial,
 		}
 		atomic.AddUint64(&p.traceSent, 1)
-		raw := sess.HandleProbe(pr.Serialize())
+		p.xmu.Lock()
+		p.pktBuf = pr.AppendTo(p.pktBuf[:0])
+		reply := p.exchangeLocked(sess)
+		p.xmu.Unlock()
 		p.releaseSerial(serial)
-		if raw == nil {
-			continue
+		if reply != nil {
+			return reply
 		}
-		reply, err := packet.ParseReply(raw)
-		if err != nil {
-			continue
-		}
-		return reply
 	}
 	return nil
 }
@@ -227,15 +284,13 @@ func (p *SimProber) echoOne(sess *fakeroute.Session, addr packet.Addr, seq uint1
 			ID: 0x4d4c, Seq: seq, IPID: seq,
 		}
 		atomic.AddUint64(&p.echoSent, 1)
-		raw := sess.HandleProbe(ep.Serialize())
-		if raw == nil {
-			continue
+		p.xmu.Lock()
+		p.pktBuf = ep.AppendTo(p.pktBuf[:0])
+		reply := p.exchangeLocked(sess)
+		p.xmu.Unlock()
+		if reply != nil {
+			return reply
 		}
-		reply, err := packet.ParseReply(raw)
-		if err != nil {
-			continue
-		}
-		return reply
 	}
 	return nil
 }

@@ -12,6 +12,37 @@ var (
 	tDst = packet.MustParseAddr("198.51.100.77")
 )
 
+// TestRepliesRetainedAcrossArenaChunks: replies come from a chunked
+// arena but are never recycled — a caller may hold every reply of a long
+// trace and each must keep its own values, across multiple chunk
+// boundaries (3×replyArenaChunk probes).
+func TestRepliesRetainedAcrossArenaChunks(t *testing.T) {
+	net, _ := fakeroute.BuildScenario(40, tSrc, tDst, fakeroute.SimplestDiamond)
+	p := NewSimProber(net, tSrc, tDst)
+	p.Retries = 0
+	const n = 3 * replyArenaChunk
+	replies := make([]*packet.Reply, 0, n)
+	froms := make([]packet.Addr, 0, n)
+	ipids := make([]uint16, 0, n)
+	for i := 0; i < n; i++ {
+		r := p.Probe(uint16(i%8), 1+i%3)
+		if r == nil {
+			t.Fatalf("probe %d: no reply", i)
+		}
+		replies = append(replies, r)
+		froms = append(froms, r.From)
+		ipids = append(ipids, r.IPID)
+	}
+	for i, r := range replies {
+		if r.From != froms[i] || r.IPID != ipids[i] {
+			t.Fatalf("reply %d mutated after later probes: %+v", i, r)
+		}
+		if i > 0 && r == replies[i-1] {
+			t.Fatalf("replies %d and %d share a struct", i-1, i)
+		}
+	}
+}
+
 func TestSimProberProbeAndCount(t *testing.T) {
 	net, _ := fakeroute.BuildScenario(1, tSrc, tDst, fakeroute.SimplestDiamond)
 	p := NewSimProber(net, tSrc, tDst)
