@@ -18,8 +18,11 @@
 // suffix is stripped so runs from machines with different core counts
 // still line up — and exits nonzero if any benchmark's ns/op or
 // allocs/op grew by more than -max-regress (default 15%; accepts "15%"
-// or "0.15"). Benchmarks present on only one side are reported but never
-// fail the comparison.
+// or "0.15"). Benchmarks present on only one side are reported but by
+// default never fail the comparison; with -strict-missing, a benchmark
+// present in the baseline but absent from the new run is a hard error
+// with its own exit code (3), so CI can fail on silently-deleted
+// benchmarks while treating noisy regressions as advisory.
 package main
 
 import (
@@ -134,14 +137,16 @@ func (r Regression) String() string {
 // Compare reports the regressions of new vs old: benchmarks whose ns/op
 // or allocs/op grew by more than maxRegress (a fraction: 0.15 = 15%).
 // A metric that is zero in old regresses if it is nonzero in new. The
-// second return value lists informational lines (improvements, missing
-// or added benchmarks) for human consumption.
+// second return value lists the baseline benchmarks absent from head
+// (hard errors under -strict-missing); the third lists informational
+// lines (improvements, added benchmarks, ambiguous matches) for human
+// consumption.
 //
 // Benchmarks match by exact (pkg, name) first; an entry with no exact
 // partner falls back to its GOMAXPROCS-suffix-stripped key (see
 // benchKey). A fallback key shared by several baseline entries is
 // ambiguous and reported as a note rather than compared.
-func Compare(base, head []Result, maxRegress float64) (regressions []Regression, notes []string) {
+func Compare(base, head []Result, maxRegress float64) (regressions []Regression, missing, notes []string) {
 	oldExact := make(map[string]Result, len(base))
 	// The fallback index lists every baseline entry under both its exact
 	// and its stripped key, so a suffixed head entry finds an unsuffixed
@@ -196,7 +201,7 @@ func Compare(base, head []Result, maxRegress float64) (regressions []Regression,
 	}
 	for _, r := range base {
 		if !matched[exactKey(r)] {
-			notes = append(notes, fmt.Sprintf("benchmark %s disappeared (was in baseline)", exactKey(r)))
+			missing = append(missing, exactKey(r))
 		}
 	}
 	sort.Slice(regressions, func(i, j int) bool {
@@ -205,8 +210,9 @@ func Compare(base, head []Result, maxRegress float64) (regressions []Regression,
 		}
 		return regressions[i].Metric < regressions[j].Metric
 	})
+	sort.Strings(missing)
 	sort.Strings(notes)
-	return regressions, notes
+	return regressions, missing, notes
 }
 
 // parseMaxRegress accepts "15%" or a bare fraction like "0.15".
@@ -240,13 +246,19 @@ func loadResults(path string) ([]Result, error) {
 }
 
 // runCompare implements `benchjson -compare old.json new.json
-// [-max-regress 15%]`, returning the process exit code. Flags may appear
+// [-max-regress 15%] [-strict-missing]`, returning the process exit
+// code: 0 clean, 1 regressions, 2 usage, 3 baseline benchmarks missing
+// from the new run under -strict-missing (missing takes precedence over
+// regressions, so CI can gate on deletions alone). Flags may appear
 // before or after the two positional paths.
 func runCompare(args []string) int {
 	maxRegress := 0.15
+	strictMissing := false
 	var paths []string
 	for i := 0; i < len(args); i++ {
 		switch {
+		case args[i] == "-strict-missing" || args[i] == "--strict-missing":
+			strictMissing = true
 		case args[i] == "-max-regress" || args[i] == "--max-regress":
 			if i+1 >= len(args) {
 				fmt.Fprintln(os.Stderr, "benchjson: -max-regress needs a value")
@@ -267,7 +279,7 @@ func runCompare(args []string) int {
 		}
 	}
 	if len(paths) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchjson -compare old.json new.json [-max-regress 15%]")
+		fmt.Fprintln(os.Stderr, "usage: benchjson -compare old.json new.json [-max-regress 15%] [-strict-missing]")
 		return 2
 	}
 	base, err := loadResults(paths[0])
@@ -280,12 +292,23 @@ func runCompare(args []string) int {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
-	regressions, notes := Compare(base, head, maxRegress)
+	regressions, missing, notes := Compare(base, head, maxRegress)
 	for _, n := range notes {
 		fmt.Println(n)
 	}
+	for _, m := range missing {
+		if strictMissing {
+			fmt.Printf("MISSING %s: in baseline, absent from new run\n", m)
+		} else {
+			fmt.Printf("benchmark %s disappeared (was in baseline)\n", m)
+		}
+	}
 	for _, r := range regressions {
 		fmt.Println(r)
+	}
+	if strictMissing && len(missing) > 0 {
+		fmt.Printf("%d benchmark(s) missing from the new run (strict-missing)\n", len(missing))
+		return 3
 	}
 	if len(regressions) > 0 {
 		fmt.Printf("%d regression(s) beyond %.0f%%\n", len(regressions), maxRegress*100)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"reflect"
 	"strings"
 	"testing"
@@ -93,7 +94,7 @@ func TestCompareFlagsRegressions(t *testing.T) {
 		{Pkg: "p", Name: "BenchmarkZero-16", NsPerOp: 90, AllocsPerOp: 1},   // 0 -> 1 alloc
 		{Pkg: "p", Name: "BenchmarkNew-16", NsPerOp: 1},
 	}
-	regs, notes := Compare(base, head, 0.15)
+	regs, missing, notes := Compare(base, head, 0.15)
 	if len(regs) != 2 {
 		t.Fatalf("regressions %v, want ns/op on Fast and allocs/op on Zero", regs)
 	}
@@ -103,9 +104,11 @@ func TestCompareFlagsRegressions(t *testing.T) {
 	if regs[1].Key != "p.BenchmarkZero-16" || regs[1].Metric != "allocs/op" {
 		t.Fatalf("second regression %+v", regs[1])
 	}
-	joined := strings.Join(notes, "\n")
-	if !strings.Contains(joined, "BenchmarkGone") || !strings.Contains(joined, "BenchmarkNew") {
-		t.Fatalf("notes missing added/removed benchmarks: %v", notes)
+	if len(missing) != 1 || missing[0] != "p.BenchmarkGone-8" {
+		t.Fatalf("missing %v, want the disappeared baseline benchmark", missing)
+	}
+	if !strings.Contains(strings.Join(notes, "\n"), "BenchmarkNew") {
+		t.Fatalf("notes missing added benchmark: %v", notes)
 	}
 }
 
@@ -121,7 +124,7 @@ func TestCompareExactNameBeatsSuffixStripping(t *testing.T) {
 		{Pkg: "p", Name: "BenchmarkX/pairs-100", NsPerOp: 50},
 		{Pkg: "p", Name: "BenchmarkX/pairs-200", NsPerOp: 200}, // +100% vs its own baseline
 	}
-	regs, notes := Compare(base, head, 0.15)
+	regs, _, notes := Compare(base, head, 0.15)
 	if len(regs) != 1 || regs[0].Old != 100 || regs[0].New != 200 {
 		t.Fatalf("regressions %v notes %v, want exactly pairs-200 ns/op 100->200", regs, notes)
 	}
@@ -133,7 +136,7 @@ func TestCompareSuffixedHeadFindsUnsuffixedBaseline(t *testing.T) {
 	// it, because the fallback index lists entries under both keys.
 	base := []Result{{Pkg: "p", Name: "BenchmarkX/pairs-100", NsPerOp: 50}}
 	head := []Result{{Pkg: "p", Name: "BenchmarkX/pairs-100-8", NsPerOp: 500}}
-	regs, notes := Compare(base, head, 0.15)
+	regs, _, notes := Compare(base, head, 0.15)
 	if len(regs) != 1 || regs[0].Old != 50 || regs[0].New != 500 {
 		t.Fatalf("regressions %v notes %v, want ns/op 50->500", regs, notes)
 	}
@@ -148,16 +151,15 @@ func TestCompareAmbiguousFallbackSkipped(t *testing.T) {
 		{Pkg: "p", Name: "BenchmarkX/pairs", NsPerOp: 10},
 	}
 	head := []Result{{Pkg: "p", Name: "BenchmarkX/pairs-4", NsPerOp: 500}}
-	regs, notes := Compare(base, head, 0.15)
+	regs, missing, notes := Compare(base, head, 0.15)
 	if len(regs) != 0 {
 		t.Fatalf("ambiguous match produced regressions: %v", regs)
 	}
-	joined := strings.Join(notes, "\n")
-	if !strings.Contains(joined, "ambiguous") {
+	if !strings.Contains(strings.Join(notes, "\n"), "ambiguous") {
 		t.Fatalf("missing ambiguity note: %v", notes)
 	}
-	if strings.Contains(joined, "disappeared") {
-		t.Fatalf("ambiguous candidates double-reported as disappeared: %v", notes)
+	if len(missing) != 0 {
+		t.Fatalf("ambiguous candidates double-reported as missing: %v", missing)
 	}
 }
 
@@ -171,8 +173,44 @@ func TestRegressionStringZeroBaseline(t *testing.T) {
 func TestCompareWithinBoundPasses(t *testing.T) {
 	base := []Result{{Pkg: "p", Name: "BenchmarkX", NsPerOp: 100, AllocsPerOp: 10}}
 	head := []Result{{Pkg: "p", Name: "BenchmarkX", NsPerOp: 114, AllocsPerOp: 11}}
-	if regs, _ := Compare(base, head, 0.15); len(regs) != 0 {
+	if regs, _, _ := Compare(base, head, 0.15); len(regs) != 0 {
 		t.Fatalf("within-bound drift flagged: %v", regs)
+	}
+}
+
+func TestRunCompareStrictMissing(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, data string) string {
+		p := dir + "/" + name
+		if err := os.WriteFile(p, []byte(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	base := write("base.json", `[
+		{"pkg":"p","name":"BenchmarkKept","iterations":1,"ns_per_op":100},
+		{"pkg":"p","name":"BenchmarkGone","iterations":1,"ns_per_op":100}
+	]`)
+	headMissing := write("head.json", `[
+		{"pkg":"p","name":"BenchmarkKept","iterations":1,"ns_per_op":1000}
+	]`)
+	headFull := write("full.json", `[
+		{"pkg":"p","name":"BenchmarkKept","iterations":1,"ns_per_op":100},
+		{"pkg":"p","name":"BenchmarkGone","iterations":1,"ns_per_op":100}
+	]`)
+
+	// Missing takes precedence over the (huge) ns/op regression: the gate
+	// fires with its own exit code even when regressions are advisory.
+	if code := runCompare([]string{base, headMissing, "-strict-missing", "-max-regress", "10000%"}); code != 3 {
+		t.Fatalf("strict-missing exit code %d, want 3", code)
+	}
+	// Without the flag the deletion stays informational.
+	if code := runCompare([]string{base, headMissing, "-max-regress", "10000%"}); code != 0 {
+		t.Fatalf("non-strict exit code %d, want 0", code)
+	}
+	// A full head run passes strict mode.
+	if code := runCompare([]string{base, headFull, "-strict-missing"}); code != 0 {
+		t.Fatalf("strict with nothing missing: exit code %d, want 0", code)
 	}
 }
 

@@ -1,0 +1,110 @@
+// Command eval runs the ground-truth evaluation suite: each scenario
+// generates topologies with known ground truth, traces them with the
+// full MDA and the MDA-Lite, and scores accuracy (vertex/edge/diamond
+// recall and precision) against cost (probes sent). The run is fully
+// deterministic — same seeds, same records, for every worker count.
+//
+// Usage:
+//
+//	eval                                   # run the suite, print the accuracy/cost table
+//	eval -list                             # list scenario names
+//	eval -scenarios 'flow-*' -seeds 5      # scenario selection and seed sweep
+//	eval -out eval.jsonl                   # stream byte-stable records to JSONL
+//	eval -golden testdata/eval_golden.jsonl  # compare against the committed golden,
+//	                                         # exit 1 on drift beyond tolerance
+//
+// Regenerate the golden after a deliberate algorithm change with:
+//
+//	go run ./cmd/eval -out testdata/eval_golden.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mmlpt/internal/experiments"
+	"mmlpt/internal/groundtruth"
+	"mmlpt/internal/traceio"
+)
+
+func main() {
+	var (
+		scenarios = flag.String("scenarios", "all", "comma-separated scenario names; a trailing * matches a prefix")
+		seeds     = flag.Int("seeds", 3, "seed sweep width per scenario")
+		seed      = flag.Uint64("seed", 1, "base seed")
+		phi       = flag.Int("phi", 0, "MDA-Lite meshing budget (0 = default)")
+		workers   = flag.Int("workers", 0, "concurrent instances (0 = GOMAXPROCS; records are identical for every value)")
+		out       = flag.String("out", "", "stream eval records to this JSONL file")
+		golden    = flag.String("golden", "", "compare the run against this golden JSONL, exit 1 on drift")
+		tolRecall = flag.Float64("tol-recall", groundtruth.DefaultRecallTolerance, "absolute drift tolerance on recall/precision/savings metrics (0 = exact)")
+		tolProbes = flag.Float64("tol-probes", groundtruth.DefaultProbesTolerance, "relative drift tolerance on probe counts, either direction (0 = exact)")
+		list      = flag.Bool("list", false, "list scenario names and exit")
+	)
+	flag.Parse()
+
+	suite := groundtruth.Suite()
+	if *list {
+		for _, sc := range suite {
+			fmt.Printf("%-16s pairs=%d flow_based=%t\n", sc.Name, sc.Pairs, sc.FlowBased)
+		}
+		return
+	}
+	selected, err := groundtruth.Select(suite, *scenarios)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	cfg := groundtruth.Config{
+		Scenarios: selected,
+		Seeds:     *seeds,
+		BaseSeed:  *seed,
+		Phi:       *phi,
+		Workers:   *workers,
+	}
+	var jw *traceio.JSONLWriter
+	if *out != "" {
+		jw, err = traceio.CreateJSONL(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cfg.OnRecord = func(rec *traceio.EvalRecord) error { return jw.Write(rec) }
+	}
+
+	records, err := groundtruth.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if jw != nil {
+		if err := jw.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d eval records to %s (%d bytes)\n", len(records), *out, jw.Offset())
+	}
+
+	fmt.Print(experiments.FormatAccuracyCostTable(experiments.AccuracyCostTable(records)))
+
+	if *golden != "" {
+		goldenRecs, err := groundtruth.LoadGolden(*golden, selected)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		tol := groundtruth.Tolerances{Recall: *tolRecall, Probes: *tolProbes}
+		drifts := groundtruth.CompareGolden(records, goldenRecs, tol)
+		if len(drifts) > 0 {
+			fmt.Fprintf(os.Stderr, "golden compare FAILED against %s: %d drift(s)\n", *golden, len(drifts))
+			for _, d := range drifts {
+				fmt.Fprintln(os.Stderr, d)
+			}
+			fmt.Fprintln(os.Stderr, "if this change is deliberate, regenerate with: go run ./cmd/eval -out", *golden)
+			os.Exit(1)
+		}
+		fmt.Printf("golden compare OK against %s (%d records, tol recall %.3g / probes %.3g)\n",
+			*golden, len(goldenRecs), tol.Recall, tol.Probes)
+	}
+}

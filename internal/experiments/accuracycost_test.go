@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"mmlpt/internal/traceio"
+)
+
+func evalRec(scenario string, seedIdx int, flow bool, mdaProbes, liteProbes uint64, mdaEdge, liteEdge float64) *traceio.EvalRecord {
+	rel := 1.0
+	if mdaEdge > 0 {
+		rel = liteEdge / mdaEdge
+	}
+	return &traceio.EvalRecord{
+		Scenario: scenario, SeedIndex: seedIdx, FlowBased: flow, Pairs: 2,
+		MDA:                traceio.AlgoEval{Algo: "mda", Probes: mdaProbes, EdgeRecall: mdaEdge},
+		MDALite:            traceio.AlgoEval{Algo: "mda-lite", Probes: liteProbes, EdgeRecall: liteEdge, Switched: 1},
+		ProbeSavings:       1 - float64(liteProbes)/float64(mdaProbes),
+		RelativeEdgeRecall: rel,
+	}
+}
+
+func TestAccuracyCostTable(t *testing.T) {
+	t.Parallel()
+	recs := []*traceio.EvalRecord{
+		evalRec("wide", 0, true, 500, 200, 1.0, 1.0),
+		evalRec("wide", 1, true, 300, 100, 1.0, 0.9),
+		evalRec("perpacket", 0, false, 100, 100, 0.9, 0.9),
+	}
+	rows := AccuracyCostTable(recs)
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	w := rows[0]
+	if w.Scenario != "wide" || w.Seeds != 2 {
+		t.Fatalf("row 0: %+v", w)
+	}
+	if w.MDAProbes != 400 || w.LiteProbes != 150 {
+		t.Fatalf("mean probes: %+v", w)
+	}
+	// Savings from totals: 1 - 300/800.
+	if got, want := w.Savings, 1-300.0/800; got != want {
+		t.Fatalf("savings %v, want %v", got, want)
+	}
+	if w.LiteEdgeRecall != 0.95 {
+		t.Fatalf("mean lite edge recall %v", w.LiteEdgeRecall)
+	}
+	if w.Switched != 2 {
+		t.Fatalf("switched %d", w.Switched)
+	}
+	if !w.FlowBased || rows[1].FlowBased {
+		t.Fatal("flow-based flags lost")
+	}
+
+	out := FormatAccuracyCostTable(rows)
+	if !strings.Contains(out, "wide") || !strings.Contains(out, "perpacket") {
+		t.Fatalf("table missing rows:\n%s", out)
+	}
+	if !strings.Contains(out, "flow-based scenarios") {
+		t.Fatalf("table missing flow-based headline:\n%s", out)
+	}
+}

@@ -1,0 +1,223 @@
+package fakeroute
+
+import (
+	"mmlpt/internal/nprand"
+	"mmlpt/internal/packet"
+	"mmlpt/internal/topo"
+)
+
+// Parameterized random topology generation: the family behind the
+// ground-truth evaluation scenarios (internal/groundtruth). Where the
+// named builders in shapes.go reproduce specific traces from the paper,
+// GenerateMultipath draws whole populations of diamond meshes with
+// controllable width, length, asymmetry, meshing, unresponsive hops and
+// load-balancer dispatch modes — the knobs the paper's simulations vary
+// when validating MDA-Lite accuracy against known ground truth.
+
+// LBMix gives the probability that a multi-successor (load balancing)
+// vertex dispatches per packet or per destination; the remainder is
+// per-flow, the Paris/MDA common case.
+type LBMix struct {
+	PerPacket      float64
+	PerDestination float64
+}
+
+// GenSpec parameterizes one randomly generated multipath route.
+type GenSpec struct {
+	// Diamonds is how many diamonds the path threads through (default 1).
+	Diamonds int
+	// WidthMin/WidthMax bound the width of a diamond's interior hops
+	// (defaults 2/2; widths below 2 would not be diamonds).
+	WidthMin, WidthMax int
+	// LenMin/LenMax bound the diamond length in hops between divergence
+	// and convergence point (defaults 2/2; minimum 2).
+	LenMin, LenMax int
+	// UniformWidth draws one width per diamond and holds every interior
+	// hop to it, keeping in/out degrees uniform: the population where
+	// the MDA-Lite's hop-level probing never needs to switch to the full
+	// MDA. Without it, widths re-draw per hop, and the width changes
+	// create the (legitimate) non-uniformity its detector fires on.
+	UniformWidth bool
+	// MeshProb is the probability that an interior hop transition is
+	// fully meshed (every vertex links to every successor).
+	MeshProb float64
+	// AsymProb is the probability that a widening transition distributes
+	// successors unevenly, creating width asymmetry.
+	AsymProb float64
+	// ChainMin/ChainMax bound the plain routed chain segments before,
+	// between and after diamonds (defaults 1/2).
+	ChainMin, ChainMax int
+	// StarProb is the probability that a chain hop is unresponsive.
+	StarProb float64
+	// LB is the dispatch-mode mix assigned to load balancing vertices.
+	LB LBMix
+}
+
+func (s *GenSpec) fill() {
+	if s.Diamonds == 0 {
+		s.Diamonds = 1
+	}
+	if s.WidthMin < 2 {
+		s.WidthMin = 2
+	}
+	if s.WidthMax < s.WidthMin {
+		s.WidthMax = s.WidthMin
+	}
+	if s.LenMin < 2 {
+		s.LenMin = 2
+	}
+	if s.LenMax < s.LenMin {
+		s.LenMax = s.LenMin
+	}
+	if s.ChainMin < 1 {
+		s.ChainMin = 1
+	}
+	if s.ChainMax < s.ChainMin {
+		s.ChainMax = s.ChainMin
+	}
+}
+
+// GeneratedPath is one generated ground-truth route: the hop-aligned
+// graph ending at the destination, plus the dispatch mode of every load
+// balancing vertex (to be assigned to Path.LB after AddPath).
+type GeneratedPath struct {
+	Graph *topo.Graph
+	LB    map[topo.VertexID]LBMode
+}
+
+// intBetween draws uniformly from [lo, hi].
+func intBetween(rng *nprand.Source, lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + rng.Intn(hi-lo+1)
+}
+
+// GenerateMultipath draws one random multipath route from spec. The
+// result is deterministic in (rng state, alloc state, spec): equal seeds
+// regenerate identical ground truth, which is what lets an evaluation
+// run rebuild the same network for each algorithm under test.
+func GenerateMultipath(rng *nprand.Source, alloc *AddrAllocator, dst packet.Addr, spec GenSpec) *GeneratedPath {
+	spec.fill()
+	b := NewPathBuilder(alloc)
+
+	star := func() bool { return spec.StarProb > 0 && rng.Float64() < spec.StarProb }
+	chain := func(n int) {
+		for i := 0; i < n; i++ {
+			if star() {
+				b.Star()
+			} else {
+				b.Converge(1)
+			}
+		}
+	}
+
+	// Hop 0 is the builder's fresh first-hop vertex; chains and diamonds
+	// alternate after it.
+	chain(intBetween(rng, spec.ChainMin, spec.ChainMax) - 1)
+	for d := 0; d < spec.Diamonds; d++ {
+		genDiamond(rng, b, spec)
+		chain(intBetween(rng, spec.ChainMin, spec.ChainMax))
+	}
+	g := b.End(dst)
+	return &GeneratedPath{Graph: g, LB: assignLB(rng, g, spec.LB)}
+}
+
+// genDiamond appends one diamond: length L in [LenMin, LenMax] hops
+// between the (current, single) divergence point and a fresh convergence
+// point, with L-1 interior hops of width in [WidthMin, WidthMax].
+func genDiamond(rng *nprand.Source, b *PathBuilder, spec GenSpec) {
+	length := intBetween(rng, spec.LenMin, spec.LenMax)
+	uniform := 0
+	if spec.UniformWidth {
+		uniform = intBetween(rng, spec.WidthMin, spec.WidthMax)
+	}
+	width := 0
+	for h := 0; h < length-1; h++ {
+		next := uniform
+		if next == 0 {
+			next = intBetween(rng, spec.WidthMin, spec.WidthMax)
+		}
+		meshed := spec.MeshProb > 0 && rng.Float64() < spec.MeshProb
+		switch {
+		case meshed:
+			// Mostly dense (full bipartite, trivially detectable); for
+			// equal-width transitions, sometimes sparse — only one or two
+			// vertices of out-degree 2, the population the MDA-Lite's
+			// meshing test misses with Eq. (1) probability 2^-k at phi=2.
+			if next == width && rng.Float64() < 0.35 {
+				b.CrossLink(1 + rng.Intn(2))
+			} else {
+				b.Full(next)
+			}
+		case next > width:
+			if width == 0 {
+				// Divergence: a single vertex spreads to the first
+				// interior hop; uneven spreads need >1 current vertex.
+				b.Spread(next)
+			} else {
+				b.SpreadUneven(spreadCounts(rng, width, next, spec.AsymProb))
+			}
+		case next < width:
+			b.Converge(next)
+		default:
+			// Equal widths, unmeshed: one-to-one.
+			b.Converge(next)
+		}
+		width = next
+	}
+	b.Converge(1)
+}
+
+// spreadCounts splits `total` successors over `cur` current vertices:
+// evenly (remainder to the earliest vertices) or, with probability
+// asymProb, skewed so one vertex takes every spare successor — the
+// paper's width-asymmetric population.
+func spreadCounts(rng *nprand.Source, cur, total int, asymProb float64) []int {
+	counts := make([]int, cur)
+	for i := range counts {
+		counts[i] = 1
+	}
+	spare := total - cur
+	if asymProb > 0 && rng.Float64() < asymProb {
+		counts[rng.Intn(cur)] += spare
+		return counts
+	}
+	for i := 0; i < spare; i++ {
+		counts[i%cur]++
+	}
+	return counts
+}
+
+// assignLB draws a dispatch mode for every multi-successor vertex. The
+// map only holds non-default entries (LBPerFlow is the zero value and
+// the Path default).
+func assignLB(rng *nprand.Source, g *topo.Graph, mix LBMix) map[topo.VertexID]LBMode {
+	lb := make(map[topo.VertexID]LBMode)
+	for i := range g.Vertices {
+		v := topo.VertexID(i)
+		if g.OutDegree(v) < 2 {
+			continue
+		}
+		x := rng.Float64()
+		switch {
+		case x < mix.PerPacket:
+			lb[v] = LBPerPacket
+		case x < mix.PerPacket+mix.PerDestination:
+			lb[v] = LBPerDestination
+		}
+	}
+	return lb
+}
+
+// AddGeneratedPath registers gp as the ground truth for (src, dst),
+// creating one router per interface and installing the generated
+// dispatch modes. It must be called before probing begins.
+func (n *Network) AddGeneratedPath(src, dst packet.Addr, gp *GeneratedPath) *Path {
+	n.EnsureIfaces(gp.Graph, dst)
+	p := n.AddPath(src, dst, gp.Graph)
+	for v, m := range gp.LB {
+		p.LB[v] = m
+	}
+	return p
+}

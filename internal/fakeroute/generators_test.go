@@ -1,0 +1,98 @@
+package fakeroute
+
+import (
+	"testing"
+
+	"mmlpt/internal/nprand"
+	"mmlpt/internal/packet"
+	"mmlpt/internal/topo"
+)
+
+func genOne(t *testing.T, seed uint64, spec GenSpec) *GeneratedPath {
+	t.Helper()
+	rng := nprand.New(seed)
+	alloc := NewAddrAllocator(packet.AddrFrom4(10, 0, 0, 1))
+	return GenerateMultipath(rng, alloc, packet.AddrFrom4(203, 0, 113, 9), spec)
+}
+
+func TestGenerateMultipathShape(t *testing.T) {
+	t.Parallel()
+	spec := GenSpec{Diamonds: 3, WidthMin: 2, WidthMax: 5, LenMin: 2, LenMax: 4}
+	for seed := uint64(1); seed <= 20; seed++ {
+		gp := genOne(t, seed, spec)
+		g := gp.Graph
+		ds := g.Diamonds()
+		if len(ds) != spec.Diamonds {
+			t.Fatalf("seed %d: got %d diamonds, want %d\n%s", seed, len(ds), spec.Diamonds, g)
+		}
+		for _, d := range ds {
+			if l := d.MaxLength(); l < spec.LenMin || l > spec.LenMax {
+				t.Errorf("seed %d: diamond length %d outside [%d,%d]", seed, l, spec.LenMin, spec.LenMax)
+			}
+			if w := d.MaxWidth(); w < spec.WidthMin || w > spec.WidthMax {
+				t.Errorf("seed %d: diamond width %d outside [%d,%d]", seed, w, spec.WidthMin, spec.WidthMax)
+			}
+		}
+		// Hop-aligned and ending at a single destination vertex.
+		last := g.Hop(g.NumHops() - 1)
+		if len(last) != 1 {
+			t.Fatalf("seed %d: last hop has %d vertices", seed, len(last))
+		}
+	}
+}
+
+func TestGenerateMultipathDeterministic(t *testing.T) {
+	t.Parallel()
+	spec := GenSpec{Diamonds: 2, WidthMin: 2, WidthMax: 6, LenMin: 2, LenMax: 5,
+		MeshProb: 0.3, AsymProb: 0.3, StarProb: 0.2, ChainMin: 1, ChainMax: 3,
+		LB: LBMix{PerPacket: 0.2, PerDestination: 0.2}}
+	a := genOne(t, 42, spec)
+	b := genOne(t, 42, spec)
+	if !topo.Equal(a.Graph, b.Graph) {
+		t.Fatal("same seed produced different graphs")
+	}
+	if len(a.LB) != len(b.LB) {
+		t.Fatalf("same seed produced different LB maps: %d vs %d entries", len(a.LB), len(b.LB))
+	}
+	for v, m := range a.LB {
+		if b.LB[v] != m {
+			t.Fatalf("same seed produced different LB mode for vertex %d", v)
+		}
+	}
+}
+
+func TestGenerateMultipathUniformWidth(t *testing.T) {
+	t.Parallel()
+	spec := GenSpec{Diamonds: 2, WidthMin: 2, WidthMax: 6, LenMin: 3, LenMax: 5, UniformWidth: true}
+	for seed := uint64(1); seed <= 10; seed++ {
+		gp := genOne(t, seed, spec)
+		for _, d := range gp.Graph.Diamonds() {
+			if !d.Uniform() {
+				t.Errorf("seed %d: UniformWidth diamond has width asymmetry %d", seed, d.MaxWidthAsymmetry())
+			}
+		}
+	}
+}
+
+func TestGenerateMultipathLBMix(t *testing.T) {
+	t.Parallel()
+	gp := genOne(t, 7, GenSpec{Diamonds: 2, WidthMin: 3, WidthMax: 5, LenMin: 2, LenMax: 3,
+		LB: LBMix{PerPacket: 1}})
+	if len(gp.LB) == 0 {
+		t.Fatal("PerPacket=1 mix assigned no modes")
+	}
+	for v, m := range gp.LB {
+		if m != LBPerPacket {
+			t.Errorf("vertex %d: mode %d, want LBPerPacket", v, m)
+		}
+	}
+	// And the generated path is traceable end to end on a network.
+	n := NewNetwork(1)
+	src, dst := packet.AddrFrom4(192, 0, 2, 1), packet.AddrFrom4(203, 0, 113, 9)
+	p := n.AddGeneratedPath(src, dst, gp)
+	for v, m := range gp.LB {
+		if p.LB[v] != m {
+			t.Fatalf("AddGeneratedPath dropped LB mode of vertex %d", v)
+		}
+	}
+}

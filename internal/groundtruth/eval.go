@@ -1,0 +1,154 @@
+package groundtruth
+
+import (
+	"sync/atomic"
+
+	"mmlpt/internal/mda"
+	"mmlpt/internal/mdalite"
+	"mmlpt/internal/nprand"
+	"mmlpt/internal/par"
+	"mmlpt/internal/probe"
+	"mmlpt/internal/topo"
+	"mmlpt/internal/traceio"
+)
+
+// Config controls an evaluation run.
+type Config struct {
+	// Scenarios to evaluate (nil selects the committed Suite).
+	Scenarios []Scenario
+	// Seeds is the seed-sweep width per scenario (default 1).
+	Seeds int
+	// BaseSeed anchors the per-scenario seed streams.
+	BaseSeed uint64
+	// Phi is the MDA-Lite meshing budget (0 selects the default).
+	Phi int
+	// Stop overrides the MDA stopping-point table (nil selects the
+	// default 95%-confidence table). The knob exists for ablations — and
+	// for the nerf test proving the golden compare catches a weakened
+	// stopping rule.
+	Stop []int
+	// Workers is how many (scenario, seed) instances are evaluated
+	// concurrently (0 = GOMAXPROCS, 1 = serial). Instances are fully
+	// independent — each builds its own networks — so records are
+	// identical for every worker count.
+	Workers int
+	// OnRecord, when non-nil, receives each record in deterministic
+	// (scenario-major, then seed) order the moment its prefix of the
+	// sweep has completed, the streaming hook cmd/eval writes JSONL
+	// from. An error aborts the run.
+	OnRecord func(*traceio.EvalRecord) error
+}
+
+// Run evaluates every (scenario, seed) instance and returns the records
+// in deterministic order. The worker pool is the same order-preserving
+// primitive the survey runner uses (par.Ordered), so output is
+// byte-identical for every worker count.
+func Run(cfg Config) ([]*traceio.EvalRecord, error) {
+	if cfg.Scenarios == nil {
+		cfg.Scenarios = Suite()
+	}
+	if cfg.Seeds <= 0 {
+		cfg.Seeds = 1
+	}
+	type job struct {
+		sc      Scenario
+		seedIdx int
+	}
+	var jobs []job
+	for _, sc := range cfg.Scenarios {
+		for s := 0; s < cfg.Seeds; s++ {
+			jobs = append(jobs, job{sc: sc, seedIdx: s})
+		}
+	}
+	records := make([]*traceio.EvalRecord, 0, len(jobs))
+	var (
+		stopped atomic.Bool
+		runErr  error
+	)
+	par.Ordered(len(jobs), cfg.Workers, func(i int) *traceio.EvalRecord {
+		if stopped.Load() {
+			return nil
+		}
+		j := jobs[i]
+		return Evaluate(j.sc, cfg.BaseSeed, j.seedIdx, cfg.Phi, cfg.Stop)
+	}, func(i int, rec *traceio.EvalRecord) {
+		if runErr != nil || rec == nil {
+			return
+		}
+		records = append(records, rec)
+		if cfg.OnRecord != nil {
+			if err := cfg.OnRecord(rec); err != nil {
+				runErr = err
+				stopped.Store(true)
+			}
+		}
+	})
+	if runErr != nil {
+		return records, runErr
+	}
+	return records, nil
+}
+
+// Evaluate scores one (scenario, seed index) instance: the full MDA and
+// the MDA-Lite each run over a freshly built network with identical
+// ground truth and identical reply behavior, and each discovered graph
+// is diffed against the generator's.
+func Evaluate(sc Scenario, baseSeed uint64, seedIdx, phi int, stop []int) *traceio.EvalRecord {
+	sc.fill()
+	seed := scenarioSeed(baseSeed, sc.Name, seedIdx)
+	rec := &traceio.EvalRecord{
+		Scenario:  sc.Name,
+		SeedIndex: seedIdx,
+		Seed:      seed,
+		Pairs:     sc.Pairs,
+		FlowBased: sc.FlowBased,
+	}
+	rec.MDA = runAlgo(sc, seed, phi, stop, false)
+	rec.MDALite = runAlgo(sc, seed, phi, stop, true)
+	if rec.MDA.Probes > 0 {
+		rec.ProbeSavings = 1 - float64(rec.MDALite.Probes)/float64(rec.MDA.Probes)
+	}
+	rec.RelativeEdgeRecall = 1
+	if rec.MDA.EdgeRecall > 0 {
+		rec.RelativeEdgeRecall = rec.MDALite.EdgeRecall / rec.MDA.EdgeRecall
+	}
+	return rec
+}
+
+// runAlgo traces every pair of a fresh instance with one algorithm and
+// aggregates the diff against ground truth.
+func runAlgo(sc Scenario, seed uint64, phi int, stop []int, lite bool) traceio.AlgoEval {
+	inst := sc.Build(seed)
+	var agg topo.DiffStats
+	ev := traceio.AlgoEval{Algo: "mda"}
+	if lite {
+		ev.Algo = "mda-lite"
+	}
+	for i, pair := range inst.Pairs {
+		p := probe.NewSimProber(inst.Net, pair.Src, pair.Dst)
+		p.Retries = sc.Retries
+		cfg := mda.Config{Seed: nprand.IndexedSeed(seed, i), Stop: stop}
+		var res *mda.Result
+		if lite {
+			res = mdalite.Trace(p, cfg, phi)
+		} else {
+			res = mda.Trace(p, cfg)
+		}
+		ev.Probes += probe.TotalSent(p)
+		if res.ReachedDst {
+			ev.Reached++
+		}
+		if res.SwitchedToMDA {
+			ev.Switched++
+		}
+		agg.Add(topo.Diff(res.Graph, pair.Truth))
+	}
+	ev.VertexRecall = agg.VertexRecall()
+	ev.EdgeRecall = agg.EdgeRecall()
+	ev.DiamondRecall = agg.DiamondRecall()
+	ev.VertexPrecision = agg.VertexPrecision()
+	ev.EdgePrecision = agg.EdgePrecision()
+	ev.FalseVertices = agg.FalseVertices
+	ev.FalseEdges = agg.FalseEdges
+	return ev
+}

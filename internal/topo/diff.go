@@ -1,0 +1,168 @@
+package topo
+
+import "mmlpt/internal/packet"
+
+// Ground-truth graph diff: the scoring primitive of the evaluation
+// subsystem (internal/groundtruth). A discovered graph is compared
+// against the reference (generator) graph by (address, hop) identity,
+// yielding recall (how much of the truth was found) and precision (how
+// much of the discovery is true) for vertices, edges and diamonds.
+//
+// Semantics (documented in DESIGN.md "Ground-truth diff semantics"):
+//
+//   - A reference vertex matches if the discovered graph holds the same
+//     address at the same hop. Star (unresponsive) reference vertices
+//     are excluded from the totals: they emit nothing, so no tracer can
+//     confirm them by address.
+//   - A reference edge counts only if both endpoints are non-star; it
+//     matches if the discovered graph has the same address pair at the
+//     same hops.
+//   - Discovered stars, and discovered edges with a star endpoint, are
+//     ignored on the precision side: a star is the absence of evidence,
+//     not a claim about an address.
+//   - A reference diamond matches if the discovered graph contains a
+//     diamond with the same (divergence, convergence) address key.
+//     Reference diamonds with a star endpoint are excluded.
+
+// DiffStats quantifies a discovered graph against a reference graph.
+// All counts follow the semantics above.
+type DiffStats struct {
+	// Reference-side (recall) counts.
+	TrueVertices, MatchedVertices int
+	TrueEdges, MatchedEdges       int
+	TrueDiamonds, MatchedDiamonds int
+	// Discovery-side (precision) counts. False entries are discovered
+	// non-star vertices/edges absent from the reference: the "false
+	// links" a violated MDA assumption (e.g. per-packet balancing)
+	// manufactures.
+	GotVertices, FalseVertices int
+	GotEdges, FalseEdges       int
+}
+
+// ratio returns hit/total, defining an empty total as perfect (1): a
+// reference with no edges cannot be missed, a discovery with no edges
+// cannot be wrong.
+func ratio(hit, total int) float64 {
+	if total == 0 {
+		return 1
+	}
+	return float64(hit) / float64(total)
+}
+
+// VertexRecall is the fraction of reference vertices discovered.
+func (d DiffStats) VertexRecall() float64 { return ratio(d.MatchedVertices, d.TrueVertices) }
+
+// EdgeRecall is the fraction of reference edges discovered.
+func (d DiffStats) EdgeRecall() float64 { return ratio(d.MatchedEdges, d.TrueEdges) }
+
+// DiamondRecall is the fraction of reference diamonds discovered.
+func (d DiffStats) DiamondRecall() float64 { return ratio(d.MatchedDiamonds, d.TrueDiamonds) }
+
+// VertexPrecision is the fraction of discovered vertices that are true.
+func (d DiffStats) VertexPrecision() float64 {
+	return ratio(d.GotVertices-d.FalseVertices, d.GotVertices)
+}
+
+// EdgePrecision is the fraction of discovered edges that are true.
+func (d DiffStats) EdgePrecision() float64 { return ratio(d.GotEdges-d.FalseEdges, d.GotEdges) }
+
+// Add accumulates another diff into d: the aggregation a multi-pair
+// scenario uses (ratios then weight every pair by its size).
+func (d *DiffStats) Add(o DiffStats) {
+	d.TrueVertices += o.TrueVertices
+	d.MatchedVertices += o.MatchedVertices
+	d.TrueEdges += o.TrueEdges
+	d.MatchedEdges += o.MatchedEdges
+	d.TrueDiamonds += o.TrueDiamonds
+	d.MatchedDiamonds += o.MatchedDiamonds
+	d.GotVertices += o.GotVertices
+	d.FalseVertices += o.FalseVertices
+	d.GotEdges += o.GotEdges
+	d.FalseEdges += o.FalseEdges
+}
+
+// addrHop identifies a vertex by observable identity.
+type addrHop struct {
+	addr packet.Addr
+	hop  int
+}
+
+// addrEdge identifies an edge by the observable identities of its
+// endpoints.
+type addrEdge struct {
+	from, to addrHop
+}
+
+// Diff scores the discovered graph got against the reference graph ref.
+func Diff(got, ref *Graph) DiffStats {
+	var d DiffStats
+
+	gotV := make(map[addrHop]bool, len(got.Vertices))
+	gotE := make(map[addrEdge]bool, got.NumEdges())
+	collect(got, gotV, gotE)
+	refV := make(map[addrHop]bool, len(ref.Vertices))
+	refE := make(map[addrEdge]bool, ref.NumEdges())
+	collect(ref, refV, refE)
+
+	d.TrueVertices = len(refV)
+	d.TrueEdges = len(refE)
+	for k := range refV {
+		if gotV[k] {
+			d.MatchedVertices++
+		}
+	}
+	for k := range refE {
+		if gotE[k] {
+			d.MatchedEdges++
+		}
+	}
+	d.GotVertices = len(gotV)
+	d.GotEdges = len(gotE)
+	for k := range gotV {
+		if !refV[k] {
+			d.FalseVertices++
+		}
+	}
+	for k := range gotE {
+		if !refE[k] {
+			d.FalseEdges++
+		}
+	}
+
+	gotD := make(map[DiamondKey]bool)
+	for _, dd := range got.Diamonds() {
+		gotD[dd.Key()] = true
+	}
+	for _, dd := range ref.Diamonds() {
+		if dd.DivAddr == StarAddr || dd.ConvAddr == StarAddr {
+			continue
+		}
+		d.TrueDiamonds++
+		if gotD[dd.Key()] {
+			d.MatchedDiamonds++
+		}
+	}
+	return d
+}
+
+// collect indexes a graph's non-star vertices and star-free edges by
+// observable identity.
+func collect(g *Graph, vs map[addrHop]bool, es map[addrEdge]bool) {
+	for i := range g.Vertices {
+		v := &g.Vertices[i]
+		if v.Addr == StarAddr {
+			continue
+		}
+		vs[addrHop{v.Addr, v.Hop}] = true
+		for _, w := range g.Succ(VertexID(i)) {
+			wv := &g.Vertices[w]
+			if wv.Addr == StarAddr {
+				continue
+			}
+			es[addrEdge{
+				from: addrHop{v.Addr, v.Hop},
+				to:   addrHop{wv.Addr, wv.Hop},
+			}] = true
+		}
+	}
+}

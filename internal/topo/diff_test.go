@@ -1,0 +1,155 @@
+package topo
+
+import (
+	"testing"
+
+	"mmlpt/internal/packet"
+)
+
+// chainGraph builds hop-aligned graphs from per-hop address lists with
+// full connectivity between adjacent hops.
+func diffGraph(hops ...[]packet.Addr) *Graph {
+	g := New()
+	var prev []VertexID
+	for h, addrs := range hops {
+		var cur []VertexID
+		for _, a := range addrs {
+			cur = append(cur, g.AddVertex(h, a))
+		}
+		for _, u := range prev {
+			for _, w := range cur {
+				g.AddEdge(u, w)
+			}
+		}
+		prev = cur
+	}
+	return g
+}
+
+func a4(x byte) packet.Addr { return packet.AddrFrom4(10, 0, 0, x) }
+
+func TestDiffIdentical(t *testing.T) {
+	t.Parallel()
+	g := diffGraph(
+		[]packet.Addr{a4(1)},
+		[]packet.Addr{a4(2), a4(3)},
+		[]packet.Addr{a4(4)},
+	)
+	d := Diff(g, g)
+	if d.VertexRecall() != 1 || d.EdgeRecall() != 1 || d.DiamondRecall() != 1 {
+		t.Fatalf("self-diff not perfect: %+v", d)
+	}
+	if d.VertexPrecision() != 1 || d.EdgePrecision() != 1 {
+		t.Fatalf("self-diff precision not perfect: %+v", d)
+	}
+	if d.TrueDiamonds != 1 || d.MatchedDiamonds != 1 {
+		t.Fatalf("diamond counts wrong: %+v", d)
+	}
+}
+
+func TestDiffMissingVertexAndEdge(t *testing.T) {
+	t.Parallel()
+	ref := diffGraph(
+		[]packet.Addr{a4(1)},
+		[]packet.Addr{a4(2), a4(3)},
+		[]packet.Addr{a4(4)},
+	)
+	got := diffGraph(
+		[]packet.Addr{a4(1)},
+		[]packet.Addr{a4(2)},
+		[]packet.Addr{a4(4)},
+	)
+	d := Diff(got, ref)
+	if d.TrueVertices != 4 || d.MatchedVertices != 3 {
+		t.Fatalf("vertex counts: %+v", d)
+	}
+	// ref edges: 1->2, 1->3, 2->4, 3->4; got has 1->2, 2->4.
+	if d.TrueEdges != 4 || d.MatchedEdges != 2 {
+		t.Fatalf("edge counts: %+v", d)
+	}
+	if d.FalseVertices != 0 || d.FalseEdges != 0 {
+		t.Fatalf("no false entries expected: %+v", d)
+	}
+	// got has no multi-vertex hop, hence no diamond.
+	if d.TrueDiamonds != 1 || d.MatchedDiamonds != 0 {
+		t.Fatalf("diamond counts: %+v", d)
+	}
+	if d.DiamondRecall() != 0 {
+		t.Fatalf("diamond recall: %v", d.DiamondRecall())
+	}
+}
+
+func TestDiffFalseLinks(t *testing.T) {
+	t.Parallel()
+	ref := diffGraph(
+		[]packet.Addr{a4(1)},
+		[]packet.Addr{a4(2)},
+	)
+	got := diffGraph(
+		[]packet.Addr{a4(1)},
+		[]packet.Addr{a4(2), a4(9)}, // 9 does not exist in truth
+	)
+	d := Diff(got, ref)
+	if d.FalseVertices != 1 {
+		t.Fatalf("false vertices: %+v", d)
+	}
+	if d.FalseEdges != 1 { // 1->9
+		t.Fatalf("false edges: %+v", d)
+	}
+	if p := d.VertexPrecision(); p != 2.0/3 {
+		t.Fatalf("vertex precision %v, want 2/3", p)
+	}
+}
+
+func TestDiffHopMismatchIsMiss(t *testing.T) {
+	t.Parallel()
+	ref := diffGraph([]packet.Addr{a4(1)}, []packet.Addr{a4(2)})
+	got := diffGraph([]packet.Addr{a4(2)}, []packet.Addr{a4(1)}) // right addrs, wrong hops
+	d := Diff(got, ref)
+	if d.MatchedVertices != 0 {
+		t.Fatalf("hop-shifted vertices must not match: %+v", d)
+	}
+	if d.FalseVertices != 2 {
+		t.Fatalf("hop-shifted vertices are false: %+v", d)
+	}
+}
+
+func TestDiffStarsExcluded(t *testing.T) {
+	t.Parallel()
+	ref := diffGraph(
+		[]packet.Addr{a4(1)},
+		[]packet.Addr{StarAddr},
+		[]packet.Addr{a4(3)},
+	)
+	got := diffGraph(
+		[]packet.Addr{a4(1)},
+		[]packet.Addr{StarAddr},
+		[]packet.Addr{a4(3)},
+	)
+	d := Diff(got, ref)
+	// The star and both its edges are unobservable: only 2 vertices and
+	// no edges count.
+	if d.TrueVertices != 2 || d.MatchedVertices != 2 {
+		t.Fatalf("star vertex not excluded: %+v", d)
+	}
+	if d.TrueEdges != 0 {
+		t.Fatalf("star edges not excluded: %+v", d)
+	}
+	if d.EdgeRecall() != 1 {
+		t.Fatalf("empty edge set must score 1, got %v", d.EdgeRecall())
+	}
+}
+
+func TestDiffAggregation(t *testing.T) {
+	t.Parallel()
+	ref := diffGraph([]packet.Addr{a4(1)}, []packet.Addr{a4(2)})
+	var agg DiffStats
+	agg.Add(Diff(ref, ref))
+	agg.Add(Diff(New(), ref)) // empty discovery: all misses
+	if agg.TrueVertices != 4 || agg.MatchedVertices != 2 {
+		t.Fatalf("aggregate: %+v", agg)
+	}
+	if r := agg.VertexRecall(); r != 0.5 {
+		t.Fatalf("aggregate recall %v, want 0.5", r)
+	}
+}

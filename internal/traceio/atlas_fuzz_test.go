@@ -2,6 +2,7 @@ package traceio
 
 import (
 	"bytes"
+	"io"
 	"testing"
 	"testing/quick"
 )
@@ -69,6 +70,35 @@ func TestAtlasDecodeNeverPanicsOnBitFlips(t *testing.T) {
 			decodeNeverPanics(t, "bitflip", mut)
 		}
 	}
+}
+
+// FuzzDecodeAtlas is the native-fuzzing form of the hostile-input tests
+// above, seeded with a valid snapshot, its truncations and hostile
+// headers so the mutator starts near the format's structure. CI's
+// fuzz-smoke job runs it for a short budget on every PR; locally:
+//
+//	go test -run='^$' -fuzz=FuzzDecodeAtlas -fuzztime=30s ./internal/traceio
+func FuzzDecodeAtlas(f *testing.F) {
+	var buf bytes.Buffer
+	if err := EncodeAtlas(&buf, sampleSnapshot()); err != nil {
+		f.Fatal(err)
+	}
+	raw := buf.Bytes()
+	f.Add(raw)
+	f.Add(raw[:len(raw)/2])
+	f.Add([]byte(`{"version":1,"kind":"atlas","nodes":123456789012}` + "\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := DecodeAtlas(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever decodes must re-encode without panicking: accepted
+		// hostile inputs may not produce snapshots the encoder chokes on.
+		if err := EncodeAtlas(io.Discard, snap); err != nil {
+			t.Fatalf("decoded snapshot failed to re-encode: %v", err)
+		}
+	})
 }
 
 // Hostile section counts must not translate into allocations before the

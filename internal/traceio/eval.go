@@ -1,0 +1,102 @@
+package traceio
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Ground-truth evaluation records.
+//
+// An EvalRecord scores one (scenario, seed) instance of the evaluation
+// harness (internal/groundtruth): the MDA and the MDA-Lite are run over
+// the same generated network and each discovered topology is diffed
+// against the generator's known ground truth. Records are byte-stable
+// JSONL — encoding, decoding and re-encoding yields identical bytes, and
+// a run's record stream is identical for every worker count — so a
+// committed file of them can serve as a golden baseline that CI diffs
+// against within tolerances (cmd/eval -golden).
+
+// AlgoEval is the scored outcome of one algorithm over one scenario
+// instance (all pairs of the instance aggregated).
+type AlgoEval struct {
+	Algo string `json:"algo"`
+	// Probes is the total packets sent across the instance's pairs,
+	// retries and node-control probes included.
+	Probes uint64 `json:"probes"`
+	// Reached counts pairs whose trace reached the destination.
+	Reached int `json:"reached"`
+	// Switched counts MDA-Lite traces that switched to the full MDA.
+	Switched int `json:"switched"`
+	// Recall: the fraction of ground-truth vertices/edges/diamonds the
+	// algorithm discovered (stars excluded; see topo.Diff).
+	VertexRecall  float64 `json:"vertex_recall"`
+	EdgeRecall    float64 `json:"edge_recall"`
+	DiamondRecall float64 `json:"diamond_recall"`
+	// Precision: the fraction of discovered vertices/edges that exist in
+	// the ground truth.
+	VertexPrecision float64 `json:"vertex_precision"`
+	EdgePrecision   float64 `json:"edge_precision"`
+	// FalseVertices/FalseEdges are the absolute discovery-side
+	// mismatches behind the precision figures ("false links").
+	FalseVertices int `json:"false_vertices"`
+	FalseEdges    int `json:"false_edges"`
+}
+
+// EvalRecord is one (scenario, seed) evaluation: MDA and MDA-Lite over
+// identical ground truth, plus the paper's accuracy/cost headline
+// numbers derived from the pair of runs.
+type EvalRecord struct {
+	Scenario string `json:"scenario"`
+	// SeedIndex is the position in the seed sweep; Seed the derived seed
+	// actually used.
+	SeedIndex int    `json:"seed_index"`
+	Seed      uint64 `json:"seed"`
+	// Pairs is how many (source, destination) routes the instance holds.
+	Pairs int `json:"pairs"`
+	// FlowBased marks scenarios whose balancers are all flow-based, i.e.
+	// the MDA's assumptions hold and the paper's accuracy claim applies.
+	FlowBased bool `json:"flow_based"`
+
+	MDA     AlgoEval `json:"mda"`
+	MDALite AlgoEval `json:"mdalite"`
+
+	// ProbeSavings is 1 - mdalite.Probes/mda.Probes: the fraction of the
+	// full MDA's probe cost the MDA-Lite avoided.
+	ProbeSavings float64 `json:"probe_savings"`
+	// RelativeEdgeRecall is mdalite.EdgeRecall/mda.EdgeRecall (1 when
+	// the MDA found nothing): the paper's "MDA-Lite recovers nearly the
+	// same topology" metric.
+	RelativeEdgeRecall float64 `json:"relative_edge_recall"`
+}
+
+// WriteJSONL appends the record as one JSON line (JSONLWriter
+// compatible).
+func (r *EvalRecord) WriteJSONL(w io.Writer) error {
+	return json.NewEncoder(w).Encode(r)
+}
+
+// ReadEvalRecords decodes one EvalRecord per line until EOF.
+func ReadEvalRecords(r io.Reader) ([]*EvalRecord, error) {
+	var out []*EvalRecord
+	err := DecodeEvalRecords(r, func(er *EvalRecord) error {
+		out = append(out, er)
+		return nil
+	})
+	return out, err
+}
+
+// DecodeEvalRecords streams records to fn until EOF or the first error.
+func DecodeEvalRecords(r io.Reader, fn func(*EvalRecord) error) error {
+	dec := json.NewDecoder(r)
+	for {
+		er := new(EvalRecord)
+		if err := dec.Decode(er); err == io.EOF {
+			return nil
+		} else if err != nil {
+			return err
+		}
+		if err := fn(er); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package traceio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleEvalRecord() *EvalRecord {
+	return &EvalRecord{
+		Scenario: "flow-wide", SeedIndex: 2, Seed: 0xdeadbeef, Pairs: 3, FlowBased: true,
+		MDA: AlgoEval{Algo: "mda", Probes: 520, Reached: 3,
+			VertexRecall: 1, EdgeRecall: 0.993, DiamondRecall: 1,
+			VertexPrecision: 1, EdgePrecision: 0.875, FalseEdges: 2},
+		MDALite: AlgoEval{Algo: "mda-lite", Probes: 200, Reached: 3, Switched: 1,
+			VertexRecall: 1, EdgeRecall: 0.987, DiamondRecall: 1,
+			VertexPrecision: 1, EdgePrecision: 1},
+		ProbeSavings: 0.6153846153846154, RelativeEdgeRecall: 0.9939577039274925,
+	}
+}
+
+// Byte stability: encode → decode → re-encode must reproduce identical
+// bytes, the property golden files and the cross-worker determinism
+// guard rely on.
+func TestEvalRecordByteStable(t *testing.T) {
+	t.Parallel()
+	var first bytes.Buffer
+	if err := sampleEvalRecord().WriteJSONL(&first); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadEvalRecords(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	var second bytes.Buffer
+	if err := recs[0].WriteJSONL(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("re-encode differs:\n%s\n%s", first.Bytes(), second.Bytes())
+	}
+	if !strings.HasSuffix(first.String(), "\n") || strings.Count(first.String(), "\n") != 1 {
+		t.Fatalf("record is not one JSONL line: %q", first.String())
+	}
+}
+
+func TestDecodeEvalRecordsRejectsGarbage(t *testing.T) {
+	t.Parallel()
+	if _, err := ReadEvalRecords(strings.NewReader("{\"scenario\":\"x\"}\nnot json\n")); err == nil {
+		t.Fatal("garbage line decoded without error")
+	}
+}
