@@ -1,0 +1,11 @@
+//go:build !linux
+
+package main
+
+import "errors"
+
+// runLive rejects live mode where the raw-socket transport is not
+// built: the batched wire path is Linux-only (sendmmsg/recvmmsg).
+func runLive(liveOptions) error {
+	return errors.New("live mode requires Linux raw sockets; run on linux with CAP_NET_RAW")
+}

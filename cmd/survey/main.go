@@ -19,6 +19,12 @@
 //	survey -level router -pairs 500 -atlas internet.atlas
 //	survey -level ip -pairs 100000 -out r.jsonl -checkpoint r.ckpt
 //	survey -level ip -pairs 100000 -out r.jsonl -checkpoint r.ckpt -resume
+//
+// With -live-dests the surveys above are bypassed and each listed
+// destination is traced for real over Linux raw sockets (CAP_NET_RAW
+// required), using the batched sendmmsg/recvmmsg wire path:
+//
+//	survey -live-src 192.0.2.10 -live-dests 198.51.100.1,198.51.100.2
 package main
 
 import (
@@ -55,8 +61,32 @@ func main() {
 		prog        = flag.Bool("progress", false, "report pair/probe rates to stderr while running")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memProfile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
+
+		liveDests   = flag.String("live-dests", "", "comma-separated destination IPs: trace live over raw sockets (Linux, CAP_NET_RAW) instead of the simulator")
+		liveSrc     = flag.String("live-src", "", "source IP stamped into live probes (required with -live-dests)")
+		liveBatch   = flag.Int("live-batch", 64, "live mode: max packets per sendmmsg/recvmmsg call")
+		liveTimeout = flag.Duration("live-timeout", 2*time.Second, "live mode: per-wave reply timeout")
+		liveRetries = flag.Int("live-retries", 2, "live mode: re-sends per unanswered probe")
 	)
 	flag.Parse()
+
+	if *liveDests != "" {
+		if *liveSrc == "" {
+			fmt.Fprintln(os.Stderr, "-live-dests requires -live-src")
+			os.Exit(2)
+		}
+		err := runLive(liveOptions{
+			Src: *liveSrc, Dests: *liveDests,
+			Phi: *phi, Seed: *seed,
+			Batch: *liveBatch, Timeout: *liveTimeout, Retries: *liveRetries,
+			Figs: *figs,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	// Usage validation happens before profiling starts, so usage-error
 	// exits never leave a truncated CPU profile behind.
@@ -227,4 +257,17 @@ func main() {
 			fmt.Println(experiments.FormatFig14(res, recs))
 		}
 	}
+}
+
+// liveOptions carries the -live-* flags to the platform-specific live
+// runner: runLive in live_linux.go traces each destination over raw
+// sockets; other platforms reject live mode (live_other.go).
+type liveOptions struct {
+	Src, Dests string
+	Phi        int
+	Seed       uint64
+	Batch      int
+	Retries    int
+	Timeout    time.Duration
+	Figs       bool
 }

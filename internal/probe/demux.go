@@ -1,0 +1,150 @@
+package probe
+
+import "mmlpt/internal/packet"
+
+// Demux attributes parsed ICMP replies to the in-flight probes of one
+// wave. It is the syscall-free half of the live receive path: transports
+// feed it parsed replies (packet.ParseReplyInto over whatever buffer the
+// kernel filled) and it answers "which spec index does this reply
+// answer, if any". Keeping the attribution rules out of the socket loops
+// makes them unit-testable against fakeroute wire bytes without opening
+// a socket, and lets the trace and echo paths share one send/receive/
+// retry state machine.
+//
+// Attribution rules, in order:
+//
+//   - Traceroute replies (Time Exceeded / Destination Unreachable) match
+//     on the Paris probe identity quoted inside the ICMP error — the
+//     pinned UDP checksum, the same value the compiled fakeroute flow
+//     tables key on. Each identity owns exactly one in-flight probe
+//     (see LiveProber.nextSerial).
+//   - A reply whose quote is truncated before the UDP header carries no
+//     identity. It is attributable only while a single traceroute probe
+//     is outstanding, and only when the quoted destination (if the quote
+//     kept the IP header) matches the wave's destination.
+//   - Echo replies match on (source address, echo ID, sequence). Specs
+//     sharing both address and sequence resolve in FIFO order: the first
+//     unanswered spec wins, as the batched echo contract promises.
+//
+// A Demux is owned by one prober and reused across waves (BeginWave
+// clears it); in steady state the traceroute path performs no
+// allocations. It is not safe for concurrent use.
+type Demux struct {
+	dst    packet.Addr
+	echoID uint16
+
+	// trace maps each in-flight probe identity to its spec index.
+	trace map[uint16]int
+	// echo maps (addr, seq) to the spec indices awaiting that reply, in
+	// send order.
+	echo    map[uint64][]int
+	echoOut int
+}
+
+func echoKey(addr packet.Addr, seq uint16) uint64 {
+	return uint64(addr)<<16 | uint64(seq)
+}
+
+// BeginWave resets the demux for a new wave of probes toward dst. Echo
+// replies will be accepted only when they carry echoID.
+func (d *Demux) BeginWave(dst packet.Addr, echoID uint16) {
+	d.dst = dst
+	d.echoID = echoID
+	if d.trace == nil {
+		d.trace = make(map[uint16]int)
+	} else {
+		clear(d.trace)
+	}
+	if d.echo == nil {
+		d.echo = make(map[uint64][]int)
+	} else {
+		clear(d.echo)
+	}
+	d.echoOut = 0
+}
+
+// AddTrace registers an in-flight traceroute probe: identity owns spec
+// index idx until matched or dropped.
+func (d *Demux) AddTrace(identity uint16, idx int) {
+	d.trace[identity] = idx
+}
+
+// DropTrace forgets a registered traceroute probe — the path for probes
+// that were serialized but never left the socket.
+func (d *Demux) DropTrace(identity uint16) {
+	delete(d.trace, identity)
+}
+
+// HasIdentity reports whether identity is owned by an in-flight probe of
+// the current wave. The serial allocator consults it so a wrapped
+// counter can never hand out a live identity.
+func (d *Demux) HasIdentity(identity uint16) bool {
+	_, ok := d.trace[identity]
+	return ok
+}
+
+// AddEcho registers an in-flight echo probe to addr with the given
+// sequence number.
+func (d *Demux) AddEcho(addr packet.Addr, seq uint16, idx int) {
+	k := echoKey(addr, seq)
+	d.echo[k] = append(d.echo[k], idx)
+	d.echoOut++
+}
+
+// DropEcho forgets the most recently added echo registration for
+// (addr, seq, idx) — like DropTrace, for probes that never left the
+// socket.
+func (d *Demux) DropEcho(addr packet.Addr, seq uint16, idx int) {
+	k := echoKey(addr, seq)
+	q := d.echo[k]
+	for i := len(q) - 1; i >= 0; i-- {
+		if q[i] == idx {
+			d.echo[k] = append(q[:i], q[i+1:]...)
+			d.echoOut--
+			return
+		}
+	}
+}
+
+// Outstanding is the number of in-flight probes still awaiting a reply.
+func (d *Demux) Outstanding() int {
+	return len(d.trace) + d.echoOut
+}
+
+// Match attributes r to an in-flight probe. On success it returns the
+// probe's spec index and removes the registration; unmatched replies
+// (late arrivals from a previous wave, unrelated traffic on a raw
+// socket, junk) return ok=false and change nothing.
+func (d *Demux) Match(r *packet.Reply) (idx int, ok bool) {
+	if r.IsEchoReply() {
+		if r.EchoID != d.echoID {
+			return 0, false
+		}
+		k := echoKey(r.From, r.EchoSeq)
+		q := d.echo[k]
+		if len(q) == 0 {
+			return 0, false
+		}
+		idx = q[0]
+		d.echo[k] = q[1:]
+		d.echoOut--
+		return idx, true
+	}
+	if r.ProbeIdentity != 0 {
+		idx, ok = d.trace[r.ProbeIdentity]
+		if ok {
+			delete(d.trace, r.ProbeIdentity)
+		}
+		return idx, ok
+	}
+	// Identity-less quote (the router truncated it): attributable only
+	// while a single probe is outstanding, and only when the quote kept
+	// enough of the IP header to confirm the destination.
+	if len(d.trace) == 1 && r.ProbeDst == d.dst {
+		for identity, i := range d.trace {
+			delete(d.trace, identity)
+			return i, true
+		}
+	}
+	return 0, false
+}

@@ -3,295 +3,31 @@
 package probe
 
 import (
-	"fmt"
-	"os"
-	"syscall"
-	"time"
-
 	"mmlpt/internal/packet"
 )
 
-// LiveProber sends real probes over Linux raw sockets. It requires
-// CAP_NET_RAW (typically root). It implements the same Prober interface
-// as the simulator-backed prober, so every algorithm in this repository
-// can run unmodified against the live Internet.
+// NewLiveProber opens the raw-socket transport (see newRawTransport)
+// with default tunables: 2s reply timeout, 2 retries, 64-packet
+// syscall batches. It requires CAP_NET_RAW (typically root). The caller
+// must Close the prober.
 //
-// The implementation is stdlib-only (syscall): one IPPROTO_RAW socket with
-// IP_HDRINCL for sending fully crafted probes, and one IPPROTO_ICMP raw
-// socket for receiving replies. Reply matching uses the Paris probe
-// identity quoted inside ICMP errors and the echo identifier for direct
-// probes. This transport is exercised end-to-end against Fakeroute's wire
-// format in tests; live operation additionally depends on kernel and
-// network policy (rp_filter, firewalls) outside this package's control.
-type LiveProber struct {
-	Src, Dst_ packet.Addr
-	// Timeout bounds the wait for each reply (default 2s).
-	Timeout time.Duration
-	// Retries re-sends on timeout (default 2).
-	Retries int
-
-	sendFD, recvFD int
-	serial         uint16
-	traceSent      uint64
-	echoSent       uint64
-}
-
-// NewLiveProber opens the raw sockets. The caller must Close the prober.
+// Reply matching uses the Paris probe identity quoted inside ICMP
+// errors and the echo identifier for direct probes (see Demux). This
+// transport is exercised end-to-end against Fakeroute's wire format
+// over a socketpair in tests; live operation additionally depends on
+// kernel and network policy (rp_filter, firewalls) outside this
+// package's control.
 func NewLiveProber(src, dst packet.Addr) (*LiveProber, error) {
-	send, err := syscall.Socket(syscall.AF_INET, syscall.SOCK_RAW, syscall.IPPROTO_RAW)
+	return NewLiveProberConfig(src, dst, LiveConfig{Retries: 2})
+}
+
+// NewLiveProberConfig is NewLiveProber with explicit tunables — the
+// batching knobs cmd/survey surfaces for live mode.
+func NewLiveProberConfig(src, dst packet.Addr, cfg LiveConfig) (*LiveProber, error) {
+	cfg.fill()
+	tr, err := newRawTransport(cfg.MaxBatch)
 	if err != nil {
-		return nil, fmt.Errorf("probe: raw send socket: %w (need CAP_NET_RAW)", err)
+		return nil, err
 	}
-	if err := syscall.SetsockoptInt(send, syscall.IPPROTO_IP, syscall.IP_HDRINCL, 1); err != nil {
-		syscall.Close(send)
-		return nil, fmt.Errorf("probe: IP_HDRINCL: %w", err)
-	}
-	recv, err := syscall.Socket(syscall.AF_INET, syscall.SOCK_RAW, syscall.IPPROTO_ICMP)
-	if err != nil {
-		syscall.Close(send)
-		return nil, fmt.Errorf("probe: raw recv socket: %w", err)
-	}
-	return &LiveProber{
-		Src: src, Dst_: dst,
-		Timeout: 2 * time.Second, Retries: 2,
-		sendFD: send, recvFD: recv,
-	}, nil
-}
-
-// Close releases the sockets.
-func (p *LiveProber) Close() error {
-	e1 := syscall.Close(p.sendFD)
-	e2 := syscall.Close(p.recvFD)
-	if e1 != nil {
-		return e1
-	}
-	return e2
-}
-
-// Dst implements Prober.
-func (p *LiveProber) Dst() packet.Addr { return p.Dst_ }
-
-// Sent implements Prober.
-func (p *LiveProber) Sent() (uint64, uint64) { return p.traceSent, p.echoSent }
-
-// nextSerial allocates a non-zero probe identity not currently owned by
-// another in-flight probe of the same batch, so a wrapped serial counter
-// cannot hand out a live identity (replies would be unattributable).
-func (p *LiveProber) nextSerial(inflight map[uint16]int) uint16 {
-	for i := 0; i < 1<<16; i++ {
-		p.serial++
-		if p.serial == 0 {
-			p.serial = 1
-		}
-		if _, live := inflight[p.serial]; !live {
-			return p.serial
-		}
-	}
-	return p.serial
-}
-
-func sockaddr(a packet.Addr) *syscall.SockaddrInet4 {
-	return &syscall.SockaddrInet4{
-		Addr: [4]byte{byte(a >> 24), byte(a >> 16), byte(a >> 8), byte(a)},
-	}
-}
-
-func (p *LiveProber) setRecvDeadline(d time.Duration) error {
-	tv := syscall.NsecToTimeval(d.Nanoseconds())
-	return syscall.SetsockoptTimeval(p.recvFD, syscall.SOL_SOCKET, syscall.SO_RCVTIMEO, &tv)
-}
-
-// awaitReply reads ICMP messages until match accepts one or the deadline
-// passes.
-func (p *LiveProber) awaitReply(deadline time.Time, match func(*packet.Reply) bool) *packet.Reply {
-	buf := make([]byte, 1500)
-	for {
-		remain := time.Until(deadline)
-		if remain <= 0 {
-			return nil
-		}
-		if err := p.setRecvDeadline(remain); err != nil {
-			return nil
-		}
-		n, _, err := syscall.Recvfrom(p.recvFD, buf, 0)
-		if err != nil {
-			if err == syscall.EAGAIN || err == syscall.EWOULDBLOCK || err == syscall.EINTR {
-				if time.Now().After(deadline) {
-					return nil
-				}
-				continue
-			}
-			return nil
-		}
-		reply, perr := packet.ParseReply(buf[:n])
-		if perr != nil {
-			continue
-		}
-		if match(reply) {
-			return reply
-		}
-	}
-}
-
-// Probe implements Prober as a batch of one.
-func (p *LiveProber) Probe(flowID uint16, ttl int) *packet.Reply {
-	return p.ProbeBatch([]Spec{{FlowID: flowID, TTL: ttl}})[0]
-}
-
-// ProbeBatch implements Prober: the whole round is sent back to back and
-// the replies are collected as they arrive, so the round trip cost is
-// paid once per round rather than once per probe. Unanswered probes are
-// retried (as a smaller batch) up to Retries times; the final attempt
-// sends one probe at a time, because a router that truncates the quoted
-// probe (identity-less reply) can only be attributed while a single
-// probe is outstanding.
-func (p *LiveProber) ProbeBatch(specs []Spec) []*packet.Reply {
-	for _, sp := range specs {
-		if sp.FlowID > packet.MaxFlowID {
-			panic("probe: flow ID out of range")
-		}
-	}
-	replies := make([]*packet.Reply, len(specs))
-	pending := make([]int, len(specs))
-	for i := range specs {
-		pending[i] = i
-	}
-	attempts := p.Retries + 1
-	for a := 0; a < attempts && len(pending) > 0; a++ {
-		lastAttempt := a == attempts-1
-		batches := [][]int{pending}
-		if lastAttempt && len(pending) > 1 {
-			batches = batches[:0]
-			for _, i := range pending {
-				batches = append(batches, []int{i})
-			}
-		}
-		for _, batch := range batches {
-			p.probeWave(specs, batch, replies)
-		}
-		pending = pending[:0]
-		for i := range specs {
-			if replies[i] == nil {
-				pending = append(pending, i)
-			}
-		}
-	}
-	return replies
-}
-
-// probeWave sends one wave of probes (spec indices) and collects their
-// replies until the timeout, filling the replies slice in place.
-func (p *LiveProber) probeWave(specs []Spec, wave []int, replies []*packet.Reply) {
-	// owner maps each in-flight probe identity to its spec index.
-	owner := make(map[uint16]int, len(wave))
-	for _, i := range wave {
-		identity := p.nextSerial(owner)
-		pr := packet.Probe{
-			Src: p.Src, Dst: p.Dst_,
-			FlowID: specs[i].FlowID, TTL: byte(specs[i].TTL), Checksum: identity,
-		}
-		p.traceSent++
-		if err := syscall.Sendto(p.sendFD, pr.Serialize(), 0, sockaddr(p.Dst_)); err != nil {
-			fmt.Fprintf(os.Stderr, "probe: sendto: %v\n", err)
-			continue
-		}
-		owner[identity] = i
-	}
-	deadline := time.Now().Add(p.Timeout)
-	for len(owner) > 0 {
-		reply := p.awaitReply(deadline, func(r *packet.Reply) bool {
-			if r.IsEchoReply() {
-				return false
-			}
-			// Match on the quoted identity when present. An
-			// identity-less quote (some routers truncate quotes) is
-			// attributable only when a single probe is outstanding.
-			if r.ProbeIdentity != 0 {
-				_, ok := owner[r.ProbeIdentity]
-				return ok
-			}
-			return len(owner) == 1 && r.ProbeDst == p.Dst_
-		})
-		if reply == nil {
-			break // deadline passed
-		}
-		idx, ok := owner[reply.ProbeIdentity]
-		if !ok {
-			// Identity-less match: the single outstanding probe.
-			for _, i := range owner {
-				idx = i
-			}
-		}
-		replies[idx] = reply
-		delete(owner, reply.ProbeIdentity)
-		if reply.ProbeIdentity == 0 {
-			owner = map[uint16]int{}
-		}
-	}
-}
-
-// Echo implements Prober as a batch of one.
-func (p *LiveProber) Echo(addr packet.Addr, seq uint16) *packet.Reply {
-	return p.EchoBatch([]EchoSpec{{Addr: addr, Seq: seq}})[0]
-}
-
-// EchoBatch implements Prober, overlapping the round's echoes the same
-// way ProbeBatch overlaps traceroute probes. Replies are attributed by
-// (address, echo id, sequence); specs sharing both address and sequence
-// resolve to the first unanswered one.
-func (p *LiveProber) EchoBatch(specs []EchoSpec) []*packet.Reply {
-	const echoID = 0x4d4c
-	replies := make([]*packet.Reply, len(specs))
-	pending := make([]int, len(specs))
-	for i := range specs {
-		pending[i] = i
-	}
-	attempts := p.Retries + 1
-	for a := 0; a < attempts && len(pending) > 0; a++ {
-		// Only probes that actually left the socket are awaited; a failed
-		// Sendto must not hold the receive loop open until the deadline.
-		outstanding := make([]int, 0, len(pending))
-		for _, i := range pending {
-			ep := packet.EchoProbe{
-				Src: p.Src, Dst: specs[i].Addr,
-				ID: echoID, Seq: specs[i].Seq, IPID: specs[i].Seq,
-			}
-			p.echoSent++
-			if err := syscall.Sendto(p.sendFD, ep.Serialize(), 0, sockaddr(specs[i].Addr)); err != nil {
-				continue
-			}
-			outstanding = append(outstanding, i)
-		}
-		deadline := time.Now().Add(p.Timeout)
-		for len(outstanding) > 0 {
-			reply := p.awaitReply(deadline, func(r *packet.Reply) bool {
-				if !r.IsEchoReply() || r.EchoID != echoID {
-					return false
-				}
-				for _, i := range outstanding {
-					if r.From == specs[i].Addr && r.EchoSeq == specs[i].Seq {
-						return true
-					}
-				}
-				return false
-			})
-			if reply == nil {
-				break
-			}
-			for k, i := range outstanding {
-				if reply.From == specs[i].Addr && reply.EchoSeq == specs[i].Seq {
-					replies[i] = reply
-					outstanding = append(outstanding[:k], outstanding[k+1:]...)
-					break
-				}
-			}
-		}
-		pending = pending[:0]
-		for i := range specs {
-			if replies[i] == nil {
-				pending = append(pending, i)
-			}
-		}
-	}
-	return replies
+	return newLiveProber(src, dst, tr, cfg), nil
 }

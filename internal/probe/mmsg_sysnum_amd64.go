@@ -1,0 +1,12 @@
+//go:build linux && amd64
+
+package probe
+
+// sendmmsg/recvmmsg syscall numbers. The frozen syscall package tables
+// predate sendmmsg (Linux 3.0) on most architectures, so both numbers
+// are pinned here per GOARCH; a zero value routes the transport through
+// the portable per-packet fallback (mmsg_sysnum_other.go).
+const (
+	sysSENDMMSG = 307
+	sysRECVMMSG = 299
+)

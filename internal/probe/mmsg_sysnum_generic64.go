@@ -1,0 +1,10 @@
+//go:build linux && (arm64 || riscv64 || loong64)
+
+package probe
+
+// Architectures on the generic Linux syscall table (see
+// mmsg_sysnum_amd64.go for why these are pinned here).
+const (
+	sysSENDMMSG = 269
+	sysRECVMMSG = 243
+)

@@ -1,0 +1,12 @@
+//go:build linux && !amd64 && !arm64 && !riscv64 && !loong64
+
+package probe
+
+// Unpinned architectures: zero disables the batched syscalls and the
+// transport degrades to the per-packet sendto/recvfrom fallback, which
+// is functionally identical (and exercised everywhere by
+// TestLiveFallbackTransport).
+const (
+	sysSENDMMSG = 0
+	sysRECVMMSG = 0
+)

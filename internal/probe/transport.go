@@ -1,0 +1,40 @@
+package probe
+
+import (
+	"time"
+
+	"mmlpt/internal/packet"
+)
+
+// batchTransport is the syscall boundary of the LiveProber: everything
+// below it is kernel I/O, everything above it (serialization, reply
+// demultiplexing, the retry state machine) is pure and unit-testable.
+// The production implementation batches whole waves through
+// sendmmsg/recvmmsg (mmsg_linux.go); tests substitute an in-memory
+// fake, and the loopback benchmark runs the identical machinery over an
+// AF_UNIX socketpair so the hot path is measurable without CAP_NET_RAW.
+type batchTransport interface {
+	// SendBatch transmits pkts[i] toward dsts[i] and returns how many
+	// packets the kernel accepted — always a prefix of pkts. A short
+	// count with a nil error means the kernel refused the tail (buffer
+	// pressure); the caller retries those probes on a later wave. The
+	// packet buffers are owned by the caller and may be reused as soon
+	// as SendBatch returns.
+	SendBatch(pkts [][]byte, dsts []packet.Addr) (int, error)
+
+	// RecvSome waits until the deadline for at least one inbound packet
+	// and delivers one kernel burst of them (at most the transport's
+	// batch size), calling deliver once per packet with a
+	// transport-owned buffer valid only during the call. It returns nil
+	// after one burst or once the deadline passes with nothing
+	// received; callers loop while they still expect replies. A non-nil
+	// error means the transport is unusable for the rest of the wave.
+	RecvSome(deadline time.Time, deliver func(pkt []byte)) error
+
+	// Syscalls is the cumulative number of system calls the transport
+	// has issued — the budget the live wire path is optimized against
+	// (see BenchmarkLiveLoopbackRound).
+	Syscalls() uint64
+
+	Close() error
+}
