@@ -1,0 +1,172 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mmlpt/internal/traceio"
+)
+
+func testSnapshot(t *testing.T) string {
+	t.Helper()
+	s := &traceio.AtlasSnapshot{
+		Pairs: []traceio.AtlasPair{{Pair: 0, Src: "192.0.2.1", Dst: "203.0.113.1"}},
+		Nodes: []traceio.AtlasNode{
+			{Addr: "10.0.0.1", Seen: [][2]int{{0, 1}}},
+			{Addr: "10.0.0.2", Seen: [][2]int{{0, 2}}},
+			{Addr: "10.0.0.3", Seen: [][2]int{{0, 2}}},
+			{Addr: "10.0.0.4", Seen: [][2]int{{0, 3}}},
+		},
+		Edges:   []traceio.AtlasEdge{{0, 1}, {0, 2}, {1, 3}, {2, 3}},
+		Routers: []traceio.AtlasRouter{{Addrs: []string{"10.0.0.2", "10.0.0.3"}}},
+		Diamonds: []traceio.AtlasDiamond{
+			{Div: "10.0.0.1", Conv: "10.0.0.4", Count: 1, Pairs: []int{0}, MaxWidth: 2, MaxLength: 2},
+		},
+	}
+	path := filepath.Join(t.TempDir(), "t.atlas")
+	if err := traceio.WriteAtlasFile(path, s); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestSubcommands(t *testing.T) {
+	t.Parallel()
+	path := testSnapshot(t)
+
+	code, out, _ := runCLI(t, "stats", path)
+	if code != 0 || !strings.Contains(out, "4 addresses") || !strings.Contains(out, "1 routers") {
+		t.Fatalf("stats: code=%d out=%q", code, out)
+	}
+
+	code, out, _ = runCLI(t, "routers", path)
+	if code != 0 || out != "router[2] 10.0.0.2 10.0.0.3\n" {
+		t.Fatalf("routers: code=%d out=%q", code, out)
+	}
+
+	// By member and by representative; singleton for unaliased.
+	for _, a := range []string{"10.0.0.2", "10.0.0.3"} {
+		code, out, _ = runCLI(t, "router", a, path)
+		if code != 0 || out != "router[2] 10.0.0.2 10.0.0.3\n" {
+			t.Fatalf("router %s: code=%d out=%q", a, code, out)
+		}
+	}
+	code, out, _ = runCLI(t, "router", "10.0.0.1", path)
+	if code != 0 || out != "router[1] 10.0.0.1\n" {
+		t.Fatalf("router singleton: code=%d out=%q", code, out)
+	}
+
+	code, out, _ = runCLI(t, "census", path)
+	if code != 0 || !strings.Contains(out, "10.0.0.1 10.0.0.4 1 1 2 2") {
+		t.Fatalf("census: code=%d out=%q", code, out)
+	}
+
+	code, out, _ = runCLI(t, "addr", "10.0.0.2", path)
+	if code != 0 || out != "10.0.0.2 pair 0 hop 2\n" {
+		t.Fatalf("addr: code=%d out=%q", code, out)
+	}
+}
+
+// The satellite fix: querying an absent address exits non-zero with a
+// clear error, for the subcommands and the legacy flags alike.
+func TestAbsentAddressErrors(t *testing.T) {
+	t.Parallel()
+	path := testSnapshot(t)
+	for _, args := range [][]string{
+		{"addr", "10.9.9.9", path},
+		{"router", "10.9.9.9", path},
+		{"-addr", "10.9.9.9", path},
+	} {
+		code, out, errOut := runCLI(t, args...)
+		if code != 1 {
+			t.Fatalf("%v: code = %d, want 1", args, code)
+		}
+		if out != "" {
+			t.Fatalf("%v: stdout = %q, want empty", args, out)
+		}
+		if !strings.Contains(errOut, "not in atlas") {
+			t.Fatalf("%v: stderr = %q", args, errOut)
+		}
+	}
+	// Malformed address: usage error, not a query miss.
+	if code, _, _ := runCLI(t, "addr", "bogus", path); code != 2 {
+		t.Fatalf("malformed addr code = %d, want 2", code)
+	}
+}
+
+func TestLegacyFlagsStillWork(t *testing.T) {
+	t.Parallel()
+	path := testSnapshot(t)
+	code, out, errOut := runCLI(t, "-stats", path)
+	if code != 0 || !strings.Contains(out, "4 addresses") {
+		t.Fatalf("-stats: code=%d out=%q", code, out)
+	}
+	if !strings.Contains(errOut, "deprecated") {
+		t.Fatalf("-stats: no deprecation notice, stderr=%q", errOut)
+	}
+	code, out, _ = runCLI(t, "-routers", path)
+	if code != 0 || out != "router[2] 10.0.0.2 10.0.0.3\n" {
+		t.Fatalf("-routers: code=%d out=%q", code, out)
+	}
+	code, out, _ = runCLI(t, "-addr", "10.0.0.2", path)
+	if code != 0 || out != "10.0.0.2 pair 0 hop 2\n" {
+		t.Fatalf("-addr: code=%d out=%q", code, out)
+	}
+	// Bare legacy invocation defaults to stats.
+	code, out, _ = runCLI(t, path)
+	if code != 0 || !strings.Contains(out, "Fig 12") {
+		t.Fatalf("legacy default: code=%d out=%q", code, out)
+	}
+}
+
+func TestCompactSubcommand(t *testing.T) {
+	t.Parallel()
+	base := testSnapshot(t)
+	out := filepath.Join(t.TempDir(), "out.atlas")
+	code, stdout, errOut := runCLI(t, "compact", "-o", out, base, base)
+	if code != 0 {
+		t.Fatalf("compact: code=%d stderr=%q", code, errOut)
+	}
+	if !strings.Contains(stdout, "compacted 2 snapshots") {
+		t.Fatalf("compact stdout = %q", stdout)
+	}
+	// Merging a snapshot with itself is idempotent for topology; only
+	// census encounter counts sum. Spot-check it round-trips.
+	s, err := traceio.ReadAtlasFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Nodes) != 4 || s.Diamonds[0].Count != 2 {
+		t.Fatalf("compacted snapshot: %d nodes, census count %d", len(s.Nodes), s.Diamonds[0].Count)
+	}
+	if code, _, _ := runCLI(t, "compact", "-o", "", base); code != 2 {
+		t.Fatal("compact without -o must be a usage error")
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	t.Parallel()
+	if code, _, _ := runCLI(t); code != 2 {
+		t.Fatal("no args must be a usage error")
+	}
+	if code, _, _ := runCLI(t, "stats"); code != 2 {
+		t.Fatal("stats without snapshot must be a usage error")
+	}
+	code, out, _ := runCLI(t, "help")
+	if code != 0 || !strings.Contains(out, "usage:") {
+		t.Fatalf("help: code=%d out=%q", code, out)
+	}
+}

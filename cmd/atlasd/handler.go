@@ -1,0 +1,190 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+
+	"mmlpt/internal/atlas/serve"
+	"mmlpt/internal/packet"
+)
+
+// The wire types. Field order is fixed and the encoder appends a
+// newline, so responses are stable bytes for the CI golden diff.
+
+type statsResponse struct {
+	Pairs    int `json:"pairs"`
+	Nodes    int `json:"nodes"`
+	Edges    int `json:"edges"`
+	Routers  int `json:"routers"`
+	Diamonds int `json:"diamonds"`
+}
+
+type routerResponse struct {
+	Addr   string   `json:"addr"`
+	Router []string `json:"router"`
+}
+
+type obsResponse struct {
+	Pair int `json:"pair"`
+	Hop  int `json:"hop"`
+}
+
+type addrResponse struct {
+	Addr string        `json:"addr"`
+	Seen []obsResponse `json:"seen"`
+}
+
+type censusEntry struct {
+	Div       string `json:"div"`
+	Conv      string `json:"conv"`
+	Count     int    `json:"count"`
+	Pairs     int    `json:"pairs"`
+	MaxWidth  int    `json:"max_width"`
+	MaxLength int    `json:"max_length"`
+}
+
+type censusResponse struct {
+	Diamonds []censusEntry `json:"diamonds"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}
+
+// queryErr maps a serve-layer error onto a status: absent address 404,
+// closed/corrupt snapshot 500.
+func queryErr(w http.ResponseWriter, err error) {
+	if errors.Is(err, serve.ErrNotFound) {
+		writeErr(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeErr(w, http.StatusInternalServerError, err.Error())
+}
+
+// newMux routes the v1 API over one serve.Service. Address-typed routes
+// parse the path suffix themselves (Go 1.21 ServeMux has no patterns):
+// /v1/router/{addr} and /v1/addr/{addr} answer 400 for a malformed
+// address and 404 for a well-formed one the atlas never saw.
+func newMux(svc *serve.Service) http.Handler {
+	mux := http.NewServeMux()
+
+	get := func(h http.HandlerFunc) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodGet {
+				writeErr(w, http.StatusMethodNotAllowed, "method not allowed")
+				return
+			}
+			h(w, r)
+		}
+	}
+
+	mux.HandleFunc("/healthz", get(func(w http.ResponseWriter, r *http.Request) {
+		if _, err := svc.Stats(); err != nil {
+			writeErr(w, http.StatusServiceUnavailable, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	}))
+
+	mux.HandleFunc("/v1/stats", get(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/stats" {
+			writeErr(w, http.StatusNotFound, "no such route")
+			return
+		}
+		st, err := svc.Stats()
+		if err != nil {
+			queryErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, statsResponse{
+			Pairs: st.Pairs, Nodes: st.Nodes, Edges: st.Edges,
+			Routers: st.Routers, Diamonds: st.Diamonds,
+		})
+	}))
+
+	mux.HandleFunc("/v1/census", get(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/census" {
+			writeErr(w, http.StatusNotFound, "no such route")
+			return
+		}
+		ds, err := svc.DiamondCensus()
+		if err != nil {
+			queryErr(w, err)
+			return
+		}
+		resp := censusResponse{Diamonds: make([]censusEntry, len(ds))}
+		for i, d := range ds {
+			resp.Diamonds[i] = censusEntry{
+				Div: d.Div, Conv: d.Conv, Count: d.Count, Pairs: len(d.Pairs),
+				MaxWidth: d.MaxWidth, MaxLength: d.MaxLength,
+			}
+		}
+		writeJSON(w, http.StatusOK, resp)
+	}))
+
+	pathAddr := func(w http.ResponseWriter, r *http.Request, prefix string) (packet.Addr, bool) {
+		raw := strings.TrimPrefix(r.URL.Path, prefix)
+		if raw == "" || strings.Contains(raw, "/") {
+			writeErr(w, http.StatusBadRequest, "expected "+prefix+"{addr}")
+			return 0, false
+		}
+		addr, err := packet.ParseAddr(raw)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err.Error())
+			return 0, false
+		}
+		return addr, true
+	}
+
+	mux.HandleFunc("/v1/router/", get(func(w http.ResponseWriter, r *http.Request) {
+		addr, ok := pathAddr(w, r, "/v1/router/")
+		if !ok {
+			return
+		}
+		members, err := svc.Router(addr)
+		if err != nil {
+			queryErr(w, err)
+			return
+		}
+		resp := routerResponse{Addr: addr.String(), Router: make([]string, len(members))}
+		for i, m := range members {
+			resp.Router[i] = m.String()
+		}
+		writeJSON(w, http.StatusOK, resp)
+	}))
+
+	mux.HandleFunc("/v1/addr/", get(func(w http.ResponseWriter, r *http.Request) {
+		addr, ok := pathAddr(w, r, "/v1/addr/")
+		if !ok {
+			return
+		}
+		obs, err := svc.Provenance(addr)
+		if err != nil {
+			queryErr(w, err)
+			return
+		}
+		resp := addrResponse{Addr: addr.String(), Seen: make([]obsResponse, len(obs))}
+		for i, o := range obs {
+			resp.Seen[i] = obsResponse{Pair: o.Pair, Hop: o.Hop}
+		}
+		writeJSON(w, http.StatusOK, resp)
+	}))
+
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeErr(w, http.StatusNotFound, "no such route")
+	})
+
+	return mux
+}

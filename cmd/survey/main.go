@@ -10,7 +10,10 @@
 //
 // With -atlas every trace is additionally merged into a cross-trace
 // topology atlas (internal/atlas) whose snapshot is written atomically
-// at the end of the run; cmd/atlas answers queries over such snapshots.
+// at the end of the run; cmd/atlas and cmd/atlasd answer queries over
+// such snapshots. Adding -atlas-publish-every N also publishes an
+// incremental delta snapshot (<atlas>.dNNNNNN) every N records, so a
+// serving process can advance mid-run via `atlas compact` + SIGHUP.
 //
 // Usage:
 //
@@ -55,6 +58,7 @@ func main() {
 		jsonl       = flag.String("jsonl", "", "deprecated alias for -out")
 		atlasOut    = flag.String("atlas", "", "merge every trace into a cross-trace atlas and write its snapshot to this file")
 		atlasShards = flag.Int("atlas-shards", 0, "atlas ingestion shards (0 = default; snapshot bytes are identical for every value)")
+		atlasEvery  = flag.Int("atlas-publish-every", 0, "with -atlas: also publish an incremental delta snapshot (<atlas>.dNNNNNN) every N records, for live serving via atlas compact + atlasd")
 		ckpt        = flag.String("checkpoint", "", "write an atomic progress checkpoint to this file")
 		every       = flag.Int("checkpoint-every", survey.DefaultCheckpointEvery, "records between checkpoints")
 		resume      = flag.Bool("resume", false, "resume from the checkpoint, skipping completed pairs")
@@ -169,7 +173,13 @@ func main() {
 	var atlasSink *survey.AtlasSink
 	if *atlasOut != "" {
 		atlasSink = survey.NewAtlasSink(atlas.Options{Shards: *atlasShards})
+		if *atlasEvery > 0 {
+			atlasSink.PublishDeltas(*atlasOut, *atlasEvery)
+		}
 		cfg.Sinks = append(cfg.Sinks, atlasSink)
+	} else if *atlasEvery > 0 {
+		fmt.Fprintln(os.Stderr, "-atlas-publish-every requires -atlas")
+		os.Exit(2)
 	}
 
 	var stopProgress chan struct{}
@@ -209,9 +219,13 @@ func main() {
 				agg.Agg.Records, outPath, jsonlSink.Offset())
 		}
 		if atlasSink != nil {
+			fail(atlasSink.Close()) // flush a final partial delta, if publishing
 			snap := atlasSink.Atlas.Snapshot()
 			fail(traceio.WriteAtlasFile(*atlasOut, snap))
 			fmt.Printf("wrote atlas snapshot to %s (%s)\n", *atlasOut, atlas.StatsOf(snap))
+			if n := len(atlasSink.Published()); n > 0 {
+				fmt.Printf("published %d atlas deltas alongside %s\n", n, *atlasOut)
+			}
 		}
 		if *resume && agg != nil {
 			// The in-memory result covers only the pairs this process

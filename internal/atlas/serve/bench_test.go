@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"mmlpt/internal/atlas"
+	"mmlpt/internal/fakeroute"
+	"mmlpt/internal/nprand"
+	"mmlpt/internal/packet"
+	"mmlpt/internal/topo"
+	"mmlpt/internal/traceio"
+)
+
+// buildBenchAtlas synthesizes a survey-scale atlas with the PR 5
+// topology generator: benchPairs multipath routes of chained diamonds,
+// per-hop alias sets, and a diamond census entry per pair. Deterministic
+// in the seed; tens of thousands of nodes across several v2 shards.
+const benchPairs = 600
+
+func buildBenchAtlas(tb testing.TB) (string, []packet.Addr) {
+	tb.Helper()
+	a := atlas.New(atlas.Options{})
+	rng := nprand.New(7)
+	alloc := fakeroute.NewAddrAllocator(packet.AddrFrom4(10, 0, 0, 1))
+	dstAlloc := fakeroute.NewAddrAllocator(packet.AddrFrom4(203, 0, 113, 1))
+	spec := fakeroute.GenSpec{Diamonds: 3, WidthMin: 2, WidthMax: 4, LenMin: 2, LenMax: 4}
+	var addrs []packet.Addr
+	for i := 0; i < benchPairs; i++ {
+		dst := dstAlloc.Next()
+		gp := fakeroute.GenerateMultipath(rng.Fork(uint64(i)), alloc, dst, spec)
+		g := gp.Graph
+		a.AddGraph(i, g)
+		byHop := make(map[int][]packet.Addr)
+		for vi := range g.Vertices {
+			v := &g.Vertices[vi]
+			if v.Addr == topo.StarAddr {
+				continue
+			}
+			addrs = append(addrs, v.Addr)
+			byHop[v.Hop] = append(byHop[v.Hop], v.Addr)
+		}
+		for _, set := range byHop {
+			if len(set) >= 2 {
+				a.AddAliasSet(set)
+			}
+		}
+		first, last := g.V(0).Addr, g.V(topo.VertexID(len(g.Vertices)-1)).Addr
+		a.AddDiamond(i, traceio.SurveyDiamond{
+			Div: first.String(), Conv: last.String(), MaxWidth: 3, MaxLength: 3,
+		})
+	}
+	path := filepath.Join(tb.TempDir(), "bench.atlas")
+	if err := a.Save(path); err != nil {
+		tb.Fatal(err)
+	}
+	return path, addrs
+}
+
+// BenchmarkAtlasServeQueries measures sustained point-query throughput
+// under concurrent readers: each iteration is one Provenance plus one
+// Router lookup against the shard LRU.
+func BenchmarkAtlasServeQueries(b *testing.B) {
+	path, addrs := buildBenchAtlas(b)
+	svc, err := Open(path, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer svc.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			addr := addrs[(i*9973)%len(addrs)]
+			i++
+			if _, err := svc.Provenance(addr); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := svc.Router(addr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(2*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+	m := svc.Metrics()
+	b.ReportMetric(float64(m.ShardDecodes), "decodes")
+}
+
+// BenchmarkAtlasServeColdOpen measures cold-start latency: open the
+// indexed snapshot, answer one point query (header + index + one shard
+// read — never a full-file decode), close.
+func BenchmarkAtlasServeColdOpen(b *testing.B) {
+	path, addrs := buildBenchAtlas(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		svc, err := Open(path, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := svc.Router(addrs[(i*9973)%len(addrs)]); err != nil {
+			b.Fatal(err)
+		}
+		svc.Close()
+	}
+}
+
+// BenchmarkAtlasServeSwap measures generation turnover under load: how
+// fast the service can republish while readers keep querying.
+func BenchmarkAtlasServeSwap(b *testing.B) {
+	path, addrs := buildBenchAtlas(b)
+	svc, err := Open(path, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer svc.Close()
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := svc.Provenance(addrs[(i*7919)%len(addrs)]); err != nil {
+				panic(fmt.Sprintf("reader during swap: %v", err))
+			}
+			i++
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := svc.Swap(path); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	<-done
+}

@@ -59,55 +59,112 @@ func (a *Atlas) Snapshot() *traceio.AtlasSnapshot {
 // ingests carry only accepted sets.
 func FromSnapshot(s *traceio.AtlasSnapshot, opt Options) (*Atlas, error) {
 	a := New(opt)
+	if err := a.MergeSnapshot(s); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// MergeSnapshot folds a decoded snapshot additively into the atlas:
+// provenance and successor sets union, alias sets join the growing
+// router identities, census encounter counts sum and pair sets /
+// max widths union. Merging a base snapshot and a series of disjoint
+// delta snapshots (see survey.AtlasSink delta publishing) reproduces
+// the atlas that ingested every record directly — snapshot bytes
+// included, because canonical ordering and provenance dedup happen at
+// snapshot time, not merge time.
+func (a *Atlas) MergeSnapshot(s *traceio.AtlasSnapshot) error {
 	addrs := make([]packet.Addr, len(s.Nodes))
 	for i, n := range s.Nodes {
 		addr, err := packet.ParseAddr(n.Addr)
 		if err != nil {
-			return nil, fmt.Errorf("atlas: node %d: %w", i, err)
+			return fmt.Errorf("atlas: node %d: %w", i, err)
 		}
 		addrs[i] = addr
 		sh := a.shardOf(addr)
+		sh.mu.Lock()
 		st := a.node(sh, addr)
 		for _, o := range n.Seen {
 			st.seen = append(st.seen, Obs{Pair: o[0], Hop: o[1]})
 		}
+		sh.mu.Unlock()
 	}
 	for _, e := range s.Edges {
 		if e[0] < 0 || e[0] >= len(addrs) || e[1] < 0 || e[1] >= len(addrs) {
-			return nil, fmt.Errorf("atlas: edge %v out of range", e)
+			return fmt.Errorf("atlas: edge %v out of range", e)
 		}
 		sh := a.shardOf(addrs[e[0]])
+		sh.mu.Lock()
 		st := a.node(sh, addrs[e[0]])
 		if st.succ == nil {
 			st.succ = make(map[packet.Addr]struct{})
 		}
 		st.succ[addrs[e[1]]] = struct{}{}
+		sh.mu.Unlock()
 	}
 	for i, r := range s.Routers {
 		set := make([]packet.Addr, len(r.Addrs))
 		for j, as := range r.Addrs {
 			addr, err := packet.ParseAddr(as)
 			if err != nil {
-				return nil, fmt.Errorf("atlas: router %d: %w", i, err)
+				return fmt.Errorf("atlas: router %d: %w", i, err)
 			}
 			set[j] = addr
 		}
 		a.AddAliasSet(set)
 	}
+	a.mu.Lock()
 	for _, d := range s.Diamonds {
-		e := &censusEntry{
-			count: d.Count, pairs: make(map[int]struct{}, len(d.Pairs)),
-			maxWidth: d.MaxWidth, maxLength: d.MaxLength,
+		k := censusKey{div: d.Div, conv: d.Conv}
+		e, ok := a.census[k]
+		if !ok {
+			e = &censusEntry{pairs: make(map[int]struct{}, len(d.Pairs))}
+			a.census[k] = e
 		}
+		e.count += d.Count
 		for _, p := range d.Pairs {
 			e.pairs[p] = struct{}{}
 		}
-		a.census[censusKey{div: d.Div, conv: d.Conv}] = e
+		if d.MaxWidth > e.maxWidth {
+			e.maxWidth = d.MaxWidth
+		}
+		if d.MaxLength > e.maxLength {
+			e.maxLength = d.MaxLength
+		}
 	}
 	for _, p := range s.Pairs {
 		a.pairs[p.Pair] = pairInfo{src: p.Src, dst: p.Dst}
 	}
-	return a, nil
+	a.mu.Unlock()
+	return nil
+}
+
+// Compact merges a base snapshot (optional: "" starts from empty) and a
+// series of delta snapshots into one full snapshot at outPath, written
+// atomically in the current encoding. This is how a long-running
+// survey's serving view advances: publish cheap deltas, compact them
+// into the base out of band, Swap the service to the compacted file.
+func Compact(outPath, basePath string, deltaPaths []string, opt Options) error {
+	a := New(opt)
+	if basePath != "" {
+		s, err := traceio.ReadAtlasFile(basePath)
+		if err != nil {
+			return fmt.Errorf("compact: base %s: %w", basePath, err)
+		}
+		if err := a.MergeSnapshot(s); err != nil {
+			return fmt.Errorf("compact: base %s: %w", basePath, err)
+		}
+	}
+	for _, p := range deltaPaths {
+		s, err := traceio.ReadAtlasFile(p)
+		if err != nil {
+			return fmt.Errorf("compact: delta %s: %w", p, err)
+		}
+		if err := a.MergeSnapshot(s); err != nil {
+			return fmt.Errorf("compact: delta %s: %w", p, err)
+		}
+	}
+	return a.Save(outPath)
 }
 
 // Save persists the atlas snapshot atomically.

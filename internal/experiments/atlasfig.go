@@ -31,14 +31,25 @@ func AtlasRouterSizeCDF(a *atlas.Atlas) *stats.CDF {
 // snapshot build serves both.
 func FormatFig12Atlas(a *atlas.Atlas) string {
 	snap := a.Snapshot()
-	samples := make([]float64, len(snap.Routers))
+	sizes := make([]int, len(snap.Routers))
 	for i, r := range snap.Routers {
-		samples[i] = float64(len(r.Addrs))
+		sizes[i] = len(r.Addrs)
+	}
+	return FormatFig12Sizes(atlas.StatsOf(snap), sizes)
+}
+
+// FormatFig12Sizes is the same rendering from already-computed stats
+// and router sizes, so callers holding an indexed snapshot (cmd/atlas
+// through the serve layer) need not rebuild a full in-memory atlas.
+func FormatFig12Sizes(st atlas.Stats, sizes []int) string {
+	samples := make([]float64, len(sizes))
+	for i, s := range sizes {
+		samples[i] = float64(s)
 	}
 	cdf := stats.NewCDF(samples)
 	var b strings.Builder
 	b.WriteString("# Fig 12 (atlas): aggregated router size across all merged traces\n")
-	fmt.Fprintf(&b, "## %s\n", atlas.StatsOf(snap))
+	fmt.Fprintf(&b, "## %s\n", st)
 	fmt.Fprintf(&b, "## aggregated: n=%d, P(size=2)=%.2f, P(size<=10)=%.2f, max=%.0f (paper: >50 exists)\n",
 		cdf.N(), cdf.At(2)-cdf.At(1), cdf.At(10), cdf.Max())
 	b.WriteString(stats.FormatCDF(cdf, "aggregated"))

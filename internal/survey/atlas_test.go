@@ -1,0 +1,112 @@
+package survey
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mmlpt/internal/atlas"
+	"mmlpt/internal/traceio"
+)
+
+func deltaRecord(i int) *traceio.SurveyRecord {
+	base := 10 + i
+	a := func(last int) string { return fmt.Sprintf("10.0.%d.%d", base, last) }
+	return &traceio.SurveyRecord{
+		PairIndex: i,
+		Trace: traceio.JSONTrace{
+			Src: "192.0.2.1", Dst: fmt.Sprintf("203.0.113.%d", i+1),
+			Algorithm: "mda-lite", Reached: true,
+			Vertices: []traceio.JSONVertex{
+				{Addr: a(1), Hop: 0}, {Addr: a(2), Hop: 1},
+				{Addr: a(3), Hop: 1}, {Addr: a(4), Hop: 2},
+			},
+			Edges: []traceio.JSONEdge{{From: 0, To: 1}, {From: 0, To: 2}, {From: 1, To: 3}, {From: 2, To: 3}},
+			Routers: []traceio.JSONRouter{
+				{Addrs: []string{a(2), a(3)}},
+			},
+		},
+		Diamonds: []traceio.SurveyDiamond{
+			{Div: a(1), Conv: a(4), MaxWidth: 2, MaxLength: 2},
+		},
+	}
+}
+
+// Delta publishing's contract: compacting the published deltas over an
+// empty base reproduces the full-run snapshot byte-for-byte.
+func TestAtlasSinkDeltaPublishing(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	base := filepath.Join(dir, "survey.atlas")
+	sink := NewAtlasSink(atlas.Options{})
+	sink.PublishDeltas(base, 2)
+	const n = 5
+	for i := 0; i < n; i++ {
+		if err := sink.Emit(deltaRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deltas := sink.Published()
+	if len(deltas) != 3 { // 2 + 2 + 1 (final partial flushed by Close)
+		t.Fatalf("published %d deltas, want 3: %v", len(deltas), deltas)
+	}
+	for i, p := range deltas {
+		want := fmt.Sprintf("%s.d%06d", base, i)
+		if p != want {
+			t.Fatalf("delta %d path = %s, want %s", i, p, want)
+		}
+	}
+
+	full := filepath.Join(dir, "full.atlas")
+	if err := sink.Atlas.Save(full); err != nil {
+		t.Fatal(err)
+	}
+	compacted := filepath.Join(dir, "compacted.atlas")
+	if err := atlas.Compact(compacted, "", deltas, atlas.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	fb, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := os.ReadFile(compacted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(fb) != string(cb) {
+		t.Fatal("compacted deltas differ from the full snapshot")
+	}
+
+	// Base + later deltas: compacting the first delta as base with the
+	// remaining deltas is the same atlas again.
+	recompacted := filepath.Join(dir, "recompacted.atlas")
+	if err := atlas.Compact(recompacted, deltas[0], deltas[1:], atlas.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	rb, err := os.ReadFile(recompacted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(fb) != string(rb) {
+		t.Fatal("base+deltas compaction differs from the full snapshot")
+	}
+}
+
+// Without PublishDeltas the sink behaves exactly as before: no files.
+func TestAtlasSinkNoPublishing(t *testing.T) {
+	t.Parallel()
+	sink := NewAtlasSink(atlas.Options{})
+	if err := sink.Emit(deltaRecord(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sink.Published(); len(got) != 0 {
+		t.Fatalf("Published = %v, want none", got)
+	}
+}

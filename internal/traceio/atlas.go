@@ -7,33 +7,45 @@ import (
 	"fmt"
 	"io"
 	"os"
+
+	"mmlpt/internal/packet"
 )
 
-// Atlas snapshot format.
+// Atlas snapshot formats.
 //
 // A snapshot persists the cross-trace topology atlas (internal/atlas):
 // the address-keyed multilevel graph with per-pair hop provenance, the
 // aggregated alias components (routers), and the cross-pair diamond
-// census. The file is line-oriented JSON — a versioned header line with
-// section counts, then one line per pair, node, edge, router and
-// diamond, in that order:
+// census. Two formats exist, both line-oriented JSON:
 //
-//	{"version":1,"kind":"atlas","pairs":2,"nodes":3,...}
-//	{"pair":0,"src":"192.0.2.1","dst":"203.0.113.1"}
-//	{"addr":"10.0.0.1","seen":[[0,1],[1,2]]}
-//	[0,2]
-//	["10.0.0.1","10.0.0.2"]
-//	{"div":"10.0.0.1","conv":"10.0.0.9",...}
+// Version 1 (legacy, still decoded) is a flat sequence — a versioned
+// header line with section counts, then one line per pair, node, edge,
+// router and diamond, in that order. Answering any query requires
+// decoding the whole file.
 //
-// Every section is emitted in canonical order (pairs by index, nodes by
-// address, edges by (from, to) node index, routers by first address,
-// diamonds by (div, conv) label), so for a fixed survey the snapshot is
-// byte-identical whatever worker or shard count produced it, and
-// Encode(Decode(b)) == b — the byte-stable round trip resume-style
-// tooling depends on.
+// Version 2 (written by default) is sectioned and indexed: the node and
+// router sections are split into address-range shards, each preceded by
+// a shard-header line carrying its address fences, and the file ends
+// with an index line of per-shard byte offsets plus a fixed trailer
+// line locating the index. A reader can open the file, read the
+// trailer and index, and decode only the shards a query touches
+// (AtlasReader); DecodeAtlas still accepts either version as a plain
+// stream. See atlas_v2.go for the exact v2 grammar.
+//
+// Every section of either version is emitted in canonical order (pairs
+// by index, nodes by ascending address, edges by (from, to) node index,
+// routers by first address, diamonds by (div, conv) label), so for a
+// fixed survey the snapshot is byte-identical whatever worker or shard
+// count produced it, and re-encoding a decoded snapshot with the same
+// codec configuration reproduces the identical bytes — the byte-stable
+// round trip resume-style tooling depends on.
 
-// AtlasVersion is the current snapshot format version.
-const AtlasVersion = 1
+// AtlasVersion is the snapshot format version EncodeAtlas writes.
+const AtlasVersion = 2
+
+// AtlasVersionV1 is the legacy flat format, still decoded but no
+// longer written by default.
+const AtlasVersionV1 = 1
 
 // atlasKind guards against loading some other tool's JSONL file.
 const atlasKind = "atlas"
@@ -47,7 +59,8 @@ const maxAtlasLine = 1 << 24
 // the decoder notices the file is short.
 const preallocCap = 1 << 16
 
-// AtlasHeader is the snapshot's first line.
+// AtlasHeader is the snapshot's first line. Shards is the number of
+// node/router sections (v2 only; omitted in v1 files).
 type AtlasHeader struct {
 	Version  int    `json:"version"`
 	Kind     string `json:"kind"`
@@ -56,6 +69,7 @@ type AtlasHeader struct {
 	Edges    int    `json:"edges"`
 	Routers  int    `json:"routers"`
 	Diamonds int    `json:"diamonds"`
+	Shards   int    `json:"shards,omitempty"`
 }
 
 // AtlasPair records one merged trace's identity.
@@ -102,14 +116,229 @@ type AtlasSnapshot struct {
 	Diamonds []AtlasDiamond
 }
 
-// EncodeAtlas writes the snapshot. The caller is responsible for the
-// canonical ordering documented above; EncodeAtlas writes sections
-// verbatim.
+// DefaultAtlasShardNodes is the v2 encoder's target node count per
+// shard when AtlasCodec.ShardNodes is zero. Shard layout is a pure
+// function of (snapshot, codec config), never of the producing
+// process's worker or ingestion-shard count.
+const DefaultAtlasShardNodes = 4096
+
+// AtlasCodec is the versioned snapshot codec. The zero value writes
+// the current format (AtlasVersion) with the default shard sizing;
+// Decode sniffs the version from the header and accepts either format.
+// Callers that must keep producing the legacy flat format set Version
+// explicitly.
+type AtlasCodec struct {
+	// Version selects the format Encode writes: AtlasVersionV1,
+	// AtlasVersion, or 0 for the current default.
+	Version int
+	// ShardNodes is the v2 target node count per shard (0 = default).
+	// Smaller shards mean finer-grained lazy loading at the cost of
+	// index size. Byte-identity of encoded snapshots holds per
+	// ShardNodes value.
+	ShardNodes int
+}
+
+// Encode writes the snapshot in the codec's configured version. The
+// caller is responsible for the canonical section ordering documented
+// above; Encode writes section contents verbatim.
+func (c AtlasCodec) Encode(w io.Writer, s *AtlasSnapshot) error {
+	v := c.Version
+	if v == 0 {
+		v = AtlasVersion
+	}
+	switch v {
+	case AtlasVersionV1:
+		return encodeAtlasV1(w, s)
+	case AtlasVersion:
+		return c.EncodeV2(w, s)
+	default:
+		return fmt.Errorf("traceio: cannot encode atlas version %d", v)
+	}
+}
+
+// Decode reads and validates a snapshot of either version, sniffing the
+// header. Corrupt, truncated or hostile input returns an error; it
+// never panics and never allocates proportionally to unverified header
+// claims.
+func (c AtlasCodec) Decode(r io.Reader) (*AtlasSnapshot, error) {
+	ls := newLineScanner(r)
+	h, err := decodeAtlasHeader(ls)
+	if err != nil {
+		return nil, err
+	}
+	switch h.Version {
+	case AtlasVersionV1:
+		return decodeV1Body(ls, h)
+	case AtlasVersion:
+		return decodeV2Body(ls, h)
+	default:
+		return nil, fmt.Errorf("traceio: atlas version %d, want %d or %d", h.Version, AtlasVersionV1, AtlasVersion)
+	}
+}
+
+// EncodeAtlas writes the snapshot in the current default format (v2).
+// It is a thin wrapper over AtlasCodec; callers needing the legacy
+// format or custom shard sizing use the codec directly.
 func EncodeAtlas(w io.Writer, s *AtlasSnapshot) error {
+	return AtlasCodec{}.Encode(w, s)
+}
+
+// DecodeAtlas reads a snapshot of either format version. Thin wrapper
+// over AtlasCodec.Decode.
+func DecodeAtlas(r io.Reader) (*AtlasSnapshot, error) {
+	return AtlasCodec{}.Decode(r)
+}
+
+// lineScanner yields non-empty lines with position tracking, shared by
+// both format decoders.
+type lineScanner struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+func newLineScanner(r io.Reader) *lineScanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), maxAtlasLine)
+	return &lineScanner{sc: sc}
+}
+
+func (ls *lineScanner) next() ([]byte, error) {
+	for ls.sc.Scan() {
+		ls.line++
+		if len(ls.sc.Bytes()) > 0 {
+			return ls.sc.Bytes(), nil
+		}
+	}
+	if err := ls.sc.Err(); err != nil {
+		return nil, fmt.Errorf("traceio: atlas line %d: %v", ls.line+1, err)
+	}
+	return nil, fmt.Errorf("traceio: atlas truncated after line %d", ls.line)
+}
+
+// finish errors if any non-empty line remains.
+func (ls *lineScanner) finish() error {
+	for ls.sc.Scan() {
+		if len(ls.sc.Bytes()) > 0 {
+			return fmt.Errorf("traceio: atlas has trailing data after line %d", ls.line)
+		}
+	}
+	if err := ls.sc.Err(); err != nil {
+		return fmt.Errorf("traceio: atlas after line %d: %v", ls.line, err)
+	}
+	return nil
+}
+
+func decodeAtlasHeader(ls *lineScanner) (AtlasHeader, error) {
+	var h AtlasHeader
+	hb, err := ls.next()
+	if err != nil {
+		return h, err
+	}
+	if err := json.Unmarshal(hb, &h); err != nil {
+		return h, fmt.Errorf("traceio: bad atlas header: %v", err)
+	}
+	if h.Kind != atlasKind {
+		return h, fmt.Errorf("traceio: not an atlas snapshot (kind %q)", h.Kind)
+	}
+	if h.Pairs < 0 || h.Nodes < 0 || h.Edges < 0 || h.Routers < 0 || h.Diamonds < 0 || h.Shards < 0 {
+		return h, fmt.Errorf("traceio: atlas header has negative section count")
+	}
+	return h, nil
+}
+
+func cappedPrealloc(n int) int {
+	if n > preallocCap {
+		return preallocCap
+	}
+	return n
+}
+
+// decodePairs reads h.Pairs pair lines.
+func decodePairs(ls *lineScanner, n int) ([]AtlasPair, error) {
+	out := make([]AtlasPair, 0, cappedPrealloc(n))
+	for i := 0; i < n; i++ {
+		b, err := ls.next()
+		if err != nil {
+			return nil, err
+		}
+		var p AtlasPair
+		if err := json.Unmarshal(b, &p); err != nil {
+			return nil, fmt.Errorf("traceio: atlas line %d: bad pair: %v", ls.line, err)
+		}
+		if p.Pair < 0 {
+			return nil, fmt.Errorf("traceio: atlas line %d: negative pair index", ls.line)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// decodeDiamonds reads n diamond lines.
+func decodeDiamonds(ls *lineScanner, n int) ([]AtlasDiamond, error) {
+	out := make([]AtlasDiamond, 0, cappedPrealloc(n))
+	for i := 0; i < n; i++ {
+		b, err := ls.next()
+		if err != nil {
+			return nil, err
+		}
+		var d AtlasDiamond
+		if err := json.Unmarshal(b, &d); err != nil {
+			return nil, fmt.Errorf("traceio: atlas line %d: bad diamond: %v", ls.line, err)
+		}
+		if d.Count < 0 {
+			return nil, fmt.Errorf("traceio: atlas line %d: negative diamond count", ls.line)
+		}
+		for _, p := range d.Pairs {
+			if p < 0 {
+				return nil, fmt.Errorf("traceio: atlas line %d: negative diamond pair", ls.line)
+			}
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// validateNode checks one decoded node's invariants: parseable address,
+// strictly ascending over the previous node, non-negative provenance.
+// These are canonical-order facts every real snapshot satisfies, and
+// validating them at decode time is what guarantees any accepted
+// snapshot re-encodes cleanly as v2 (whose shard fences need ordered,
+// parseable addresses).
+func validateNode(ls *lineScanner, addrStr string, seen [][2]int, prev packet.Addr, havePrev bool) (packet.Addr, error) {
+	addr, err := packet.ParseAddr(addrStr)
+	if err != nil {
+		return 0, fmt.Errorf("traceio: atlas line %d: node address %q: %v", ls.line, addrStr, err)
+	}
+	if havePrev && addr <= prev {
+		return 0, fmt.Errorf("traceio: atlas line %d: node %s out of canonical order", ls.line, addrStr)
+	}
+	for _, o := range seen {
+		if o[0] < 0 || o[1] < 0 {
+			return 0, fmt.Errorf("traceio: atlas line %d: negative provenance", ls.line)
+		}
+	}
+	return addr, nil
+}
+
+// validateRouter checks a decoded router: at least two members and a
+// parseable representative (first address), which v2 shard assignment
+// keys on.
+func validateRouter(ls *lineScanner, rt *AtlasRouter) error {
+	if len(rt.Addrs) < 2 {
+		return fmt.Errorf("traceio: atlas line %d: router with %d addresses", ls.line, len(rt.Addrs))
+	}
+	if _, err := packet.ParseAddr(rt.Addrs[0]); err != nil {
+		return fmt.Errorf("traceio: atlas line %d: router representative %q: %v", ls.line, rt.Addrs[0], err)
+	}
+	return nil
+}
+
+// encodeAtlasV1 writes the legacy flat format.
+func encodeAtlasV1(w io.Writer, s *AtlasSnapshot) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
 	h := AtlasHeader{
-		Version: AtlasVersion, Kind: atlasKind,
+		Version: AtlasVersionV1, Kind: atlasKind,
 		Pairs: len(s.Pairs), Nodes: len(s.Nodes), Edges: len(s.Edges),
 		Routers: len(s.Routers), Diamonds: len(s.Diamonds),
 	}
@@ -144,145 +373,74 @@ func EncodeAtlas(w io.Writer, s *AtlasSnapshot) error {
 	return bw.Flush()
 }
 
-// DecodeAtlas reads and validates a snapshot. Corrupt, truncated or
-// hostile input returns an error; it never panics and never allocates
-// proportionally to unverified header claims.
-func DecodeAtlas(r io.Reader) (*AtlasSnapshot, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), maxAtlasLine)
-	line := 0
-	next := func() ([]byte, error) {
-		for sc.Scan() {
-			line++
-			if len(sc.Bytes()) > 0 {
-				return sc.Bytes(), nil
-			}
-		}
-		if err := sc.Err(); err != nil {
-			return nil, fmt.Errorf("traceio: atlas line %d: %v", line+1, err)
-		}
-		return nil, fmt.Errorf("traceio: atlas truncated after line %d", line)
+// decodeV1Body reads the legacy flat sections after the header.
+func decodeV1Body(ls *lineScanner, h AtlasHeader) (*AtlasSnapshot, error) {
+	s := &AtlasSnapshot{
+		Nodes:   make([]AtlasNode, 0, cappedPrealloc(h.Nodes)),
+		Edges:   make([]AtlasEdge, 0, cappedPrealloc(h.Edges)),
+		Routers: make([]AtlasRouter, 0, cappedPrealloc(h.Routers)),
 	}
-	hb, err := next()
-	if err != nil {
+	var err error
+	if s.Pairs, err = decodePairs(ls, h.Pairs); err != nil {
 		return nil, err
 	}
-	var h AtlasHeader
-	if err := json.Unmarshal(hb, &h); err != nil {
-		return nil, fmt.Errorf("traceio: bad atlas header: %v", err)
-	}
-	if h.Kind != atlasKind {
-		return nil, fmt.Errorf("traceio: not an atlas snapshot (kind %q)", h.Kind)
-	}
-	if h.Version != AtlasVersion {
-		return nil, fmt.Errorf("traceio: atlas version %d, want %d", h.Version, AtlasVersion)
-	}
-	if h.Pairs < 0 || h.Nodes < 0 || h.Edges < 0 || h.Routers < 0 || h.Diamonds < 0 {
-		return nil, fmt.Errorf("traceio: atlas header has negative section count")
-	}
-	capped := func(n int) int {
-		if n > preallocCap {
-			return preallocCap
-		}
-		return n
-	}
-	s := &AtlasSnapshot{
-		Pairs:    make([]AtlasPair, 0, capped(h.Pairs)),
-		Nodes:    make([]AtlasNode, 0, capped(h.Nodes)),
-		Edges:    make([]AtlasEdge, 0, capped(h.Edges)),
-		Routers:  make([]AtlasRouter, 0, capped(h.Routers)),
-		Diamonds: make([]AtlasDiamond, 0, capped(h.Diamonds)),
-	}
-	for i := 0; i < h.Pairs; i++ {
-		b, err := next()
-		if err != nil {
-			return nil, err
-		}
-		var p AtlasPair
-		if err := json.Unmarshal(b, &p); err != nil {
-			return nil, fmt.Errorf("traceio: atlas line %d: bad pair: %v", line, err)
-		}
-		if p.Pair < 0 {
-			return nil, fmt.Errorf("traceio: atlas line %d: negative pair index", line)
-		}
-		s.Pairs = append(s.Pairs, p)
-	}
+	var prev packet.Addr
 	for i := 0; i < h.Nodes; i++ {
-		b, err := next()
+		b, err := ls.next()
 		if err != nil {
 			return nil, err
 		}
 		var n AtlasNode
 		if err := json.Unmarshal(b, &n); err != nil {
-			return nil, fmt.Errorf("traceio: atlas line %d: bad node: %v", line, err)
+			return nil, fmt.Errorf("traceio: atlas line %d: bad node: %v", ls.line, err)
 		}
-		for _, o := range n.Seen {
-			if o[0] < 0 || o[1] < 0 {
-				return nil, fmt.Errorf("traceio: atlas line %d: negative provenance", line)
-			}
+		addr, err := validateNode(ls, n.Addr, n.Seen, prev, i > 0)
+		if err != nil {
+			return nil, err
 		}
+		prev = addr
 		s.Nodes = append(s.Nodes, n)
 	}
 	for i := 0; i < h.Edges; i++ {
-		b, err := next()
+		b, err := ls.next()
 		if err != nil {
 			return nil, err
 		}
 		var e AtlasEdge
 		if err := json.Unmarshal(b, &e); err != nil {
-			return nil, fmt.Errorf("traceio: atlas line %d: bad edge: %v", line, err)
+			return nil, fmt.Errorf("traceio: atlas line %d: bad edge: %v", ls.line, err)
 		}
 		if e[0] < 0 || e[0] >= h.Nodes || e[1] < 0 || e[1] >= h.Nodes {
-			return nil, fmt.Errorf("traceio: atlas line %d: edge index out of range", line)
+			return nil, fmt.Errorf("traceio: atlas line %d: edge index out of range", ls.line)
 		}
 		s.Edges = append(s.Edges, e)
 	}
 	for i := 0; i < h.Routers; i++ {
-		b, err := next()
+		b, err := ls.next()
 		if err != nil {
 			return nil, err
 		}
 		var rt AtlasRouter
 		if err := json.Unmarshal(b, &rt); err != nil {
-			return nil, fmt.Errorf("traceio: atlas line %d: bad router: %v", line, err)
+			return nil, fmt.Errorf("traceio: atlas line %d: bad router: %v", ls.line, err)
 		}
-		if len(rt.Addrs) < 2 {
-			return nil, fmt.Errorf("traceio: atlas line %d: router with %d addresses", line, len(rt.Addrs))
+		if err := validateRouter(ls, &rt); err != nil {
+			return nil, err
 		}
 		s.Routers = append(s.Routers, rt)
 	}
-	for i := 0; i < h.Diamonds; i++ {
-		b, err := next()
-		if err != nil {
-			return nil, err
-		}
-		var d AtlasDiamond
-		if err := json.Unmarshal(b, &d); err != nil {
-			return nil, fmt.Errorf("traceio: atlas line %d: bad diamond: %v", line, err)
-		}
-		if d.Count < 0 {
-			return nil, fmt.Errorf("traceio: atlas line %d: negative diamond count", line)
-		}
-		for _, p := range d.Pairs {
-			if p < 0 {
-				return nil, fmt.Errorf("traceio: atlas line %d: negative diamond pair", line)
-			}
-		}
-		s.Diamonds = append(s.Diamonds, d)
+	if s.Diamonds, err = decodeDiamonds(ls, h.Diamonds); err != nil {
+		return nil, err
 	}
-	for sc.Scan() {
-		if len(sc.Bytes()) > 0 {
-			return nil, fmt.Errorf("traceio: atlas has trailing data after line %d", line)
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("traceio: atlas after line %d: %v", line, err)
+	if err := ls.finish(); err != nil {
+		return nil, err
 	}
 	return s, nil
 }
 
 // WriteAtlasFile persists the snapshot atomically (temp + fsync +
-// rename), so a crash mid-save leaves the previous snapshot intact.
+// rename) in the current default format, so a crash mid-save leaves the
+// previous snapshot intact.
 func WriteAtlasFile(path string, s *AtlasSnapshot) error {
 	var buf bytes.Buffer
 	if err := EncodeAtlas(&buf, s); err != nil {
@@ -291,7 +449,7 @@ func WriteAtlasFile(path string, s *AtlasSnapshot) error {
 	return WriteFileAtomic(path, buf.Bytes(), 0o644)
 }
 
-// ReadAtlasFile loads a snapshot from disk.
+// ReadAtlasFile loads a snapshot of either version from disk.
 func ReadAtlasFile(path string) (*AtlasSnapshot, error) {
 	f, err := os.Open(path)
 	if err != nil {

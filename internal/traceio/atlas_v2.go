@@ -1,0 +1,425 @@
+package traceio
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"mmlpt/internal/packet"
+)
+
+// Snapshot format version 2: sectioned, indexed, range-fenced.
+//
+// Grammar (every line one JSON value, '\n'-terminated):
+//
+//	header    {"version":2,"kind":"atlas","pairs":P,"nodes":N,"edges":E,"routers":R,"diamonds":D,"shards":S}
+//	P pair lines (as v1)
+//	S shard blocks, each:
+//	    {"shard":i,"nodes":n,"routers":r,"min":"A","max":"B"}
+//	    n node lines   {"addr":"A","seen":[[p,h],...],"succ":["B",...],"router":"REP"}
+//	    r router lines {"addrs":["A","B",...]}
+//	D diamond lines (as v1)
+//	index     {"kind":"atlas-index","pairs_off":o,"pairs_len":l,"shards":[{"off":o,"len":l,"nodes":n,"routers":r,"min":"A","max":"B"},...],"diamonds_off":o,"diamonds_len":l}
+//	trailer   {"kind":"atlas-trailer","version":2,"index_off":o,"index_len":l}
+//
+// Nodes are split into S = ceil(N/ShardNodes) contiguous runs of the
+// canonical (ascending address) order; a shard's fences [min, max] are
+// its first and last node address, so fences partition the address
+// space into disjoint ascending ranges. Edges live with their source
+// node as a "succ" list of destination addresses, and each node in a
+// multi-interface router names the component's representative (its
+// minimum address) in "router". A router component is stored in the
+// shard its representative falls in. The trailer is the last line of
+// the file and locates the index; the index locates every shard plus
+// the pairs and diamonds sections by absolute byte offset, so a reader
+// answers a point query by decoding one shard, never the whole file.
+//
+// Offsets are pure functions of the snapshot content and codec
+// configuration, so v2 files inherit the byte-determinism guarantee:
+// same snapshot + same codec config = identical bytes.
+
+// atlasIndexKind and atlasTrailerKind tag the two locator lines.
+const (
+	atlasIndexKind   = "atlas-index"
+	atlasTrailerKind = "atlas-trailer"
+)
+
+// AtlasShardHeader is the first line of one v2 shard block.
+type AtlasShardHeader struct {
+	Shard   int    `json:"shard"`
+	Nodes   int    `json:"nodes"`
+	Routers int    `json:"routers"`
+	Min     string `json:"min,omitempty"`
+	Max     string `json:"max,omitempty"`
+}
+
+// AtlasNodeV2 is one v2 node line: the v1 node plus its outgoing links
+// (by destination address) and the representative of the router
+// component containing it, when any.
+type AtlasNodeV2 struct {
+	Addr   string   `json:"addr"`
+	Seen   [][2]int `json:"seen"`
+	Succ   []string `json:"succ"`
+	Router string   `json:"router,omitempty"`
+}
+
+// AtlasShardInfo locates one shard block in the file and repeats its
+// fences so a reader can route a query without touching the block.
+type AtlasShardInfo struct {
+	Off     int64  `json:"off"`
+	Len     int64  `json:"len"`
+	Nodes   int    `json:"nodes"`
+	Routers int    `json:"routers"`
+	Min     string `json:"min,omitempty"`
+	Max     string `json:"max,omitempty"`
+}
+
+// AtlasIndex is the v2 index line: absolute byte spans for every
+// random-access section.
+type AtlasIndex struct {
+	Kind        string           `json:"kind"`
+	PairsOff    int64            `json:"pairs_off"`
+	PairsLen    int64            `json:"pairs_len"`
+	Shards      []AtlasShardInfo `json:"shards"`
+	DiamondsOff int64            `json:"diamonds_off"`
+	DiamondsLen int64            `json:"diamonds_len"`
+}
+
+// atlasTrailer is the fixed last line locating the index.
+type atlasTrailer struct {
+	Kind     string `json:"kind"`
+	Version  int    `json:"version"`
+	IndexOff int64  `json:"index_off"`
+	IndexLen int64  `json:"index_len"`
+}
+
+// atlasShardLayout computes the v2 shard partition of a node section:
+// contiguous runs of target size, fences from the run boundaries.
+// Exported via AtlasCodec only; layout is deterministic in (addrs,
+// target).
+func atlasShardLayout(addrs []packet.Addr, target int) []AtlasShardHeader {
+	if target <= 0 {
+		target = DefaultAtlasShardNodes
+	}
+	n := len(addrs)
+	num := (n + target - 1) / target
+	if num == 0 {
+		num = 1
+	}
+	shards := make([]AtlasShardHeader, num)
+	for i := range shards {
+		lo := i * target
+		hi := lo + target
+		if hi > n {
+			hi = n
+		}
+		shards[i] = AtlasShardHeader{Shard: i, Nodes: hi - lo}
+		if hi > lo {
+			shards[i].Min = addrs[lo].String()
+			shards[i].Max = addrs[hi-1].String()
+		}
+	}
+	return shards
+}
+
+// shardForAddr returns the shard whose range owns addr: the last shard
+// whose minimum fence is <= addr, or 0 when addr precedes every fence.
+// For an address that is a node this is exactly the containing shard;
+// for others it is where that address would live, which is what router
+// representative assignment needs.
+func shardForAddr(mins []packet.Addr, addr packet.Addr) int {
+	// sort.Search: first index with mins[i] > addr.
+	i := sort.Search(len(mins), func(i int) bool { return mins[i] > addr })
+	if i == 0 {
+		return 0
+	}
+	return i - 1
+}
+
+// EncodeV2 writes the snapshot in the sectioned, indexed v2 format.
+// The snapshot must be in canonical order (ascending parseable node
+// addresses); Encode validates exactly what Decode guarantees, so any
+// decoded snapshot re-encodes.
+func (c AtlasCodec) EncodeV2(w io.Writer, s *AtlasSnapshot) error {
+	addrs := make([]packet.Addr, len(s.Nodes))
+	for i := range s.Nodes {
+		a, err := packet.ParseAddr(s.Nodes[i].Addr)
+		if err != nil {
+			return fmt.Errorf("traceio: atlas node %d address %q: %v", i, s.Nodes[i].Addr, err)
+		}
+		if i > 0 && a <= addrs[i-1] {
+			return fmt.Errorf("traceio: atlas node %d (%s) out of canonical order", i, s.Nodes[i].Addr)
+		}
+		addrs[i] = a
+	}
+	// Outgoing links per node, destination addresses in edge order.
+	succ := make([][]string, len(s.Nodes))
+	for i, e := range s.Edges {
+		if e[0] < 0 || e[0] >= len(s.Nodes) || e[1] < 0 || e[1] >= len(s.Nodes) {
+			return fmt.Errorf("traceio: atlas edge %d (%v) index out of range", i, e)
+		}
+		succ[e[0]] = append(succ[e[0]], s.Nodes[e[1]].Addr)
+	}
+	// Router component membership: representative per member address.
+	routerOf := make(map[string]string)
+	reps := make([]packet.Addr, len(s.Routers))
+	for i := range s.Routers {
+		r := &s.Routers[i]
+		if len(r.Addrs) < 2 {
+			return fmt.Errorf("traceio: atlas router %d has %d addresses", i, len(r.Addrs))
+		}
+		rep, err := packet.ParseAddr(r.Addrs[0])
+		if err != nil {
+			return fmt.Errorf("traceio: atlas router %d representative %q: %v", i, r.Addrs[0], err)
+		}
+		reps[i] = rep
+		for _, m := range r.Addrs {
+			routerOf[m] = r.Addrs[0]
+		}
+	}
+
+	shards := atlasShardLayout(addrs, c.ShardNodes)
+	mins := make([]packet.Addr, len(shards))
+	for i, sh := range shards {
+		if sh.Nodes > 0 {
+			mins[i] = addrs[i*shardTarget(c.ShardNodes)]
+		}
+	}
+	routersByShard := make([][]int, len(shards))
+	for i := range s.Routers {
+		sh := shardForAddr(mins, reps[i])
+		routersByShard[sh] = append(routersByShard[sh], i)
+		shards[sh].Routers++
+	}
+
+	bw := bufio.NewWriter(w)
+	cw := &countingWriter{w: bw}
+	enc := json.NewEncoder(cw)
+	h := AtlasHeader{
+		Version: AtlasVersion, Kind: atlasKind,
+		Pairs: len(s.Pairs), Nodes: len(s.Nodes), Edges: len(s.Edges),
+		Routers: len(s.Routers), Diamonds: len(s.Diamonds),
+		Shards: len(shards),
+	}
+	if err := enc.Encode(&h); err != nil {
+		return err
+	}
+	idx := AtlasIndex{Kind: atlasIndexKind, Shards: make([]AtlasShardInfo, 0, len(shards))}
+	idx.PairsOff = cw.n
+	for i := range s.Pairs {
+		if err := enc.Encode(&s.Pairs[i]); err != nil {
+			return err
+		}
+	}
+	idx.PairsLen = cw.n - idx.PairsOff
+
+	target := shardTarget(c.ShardNodes)
+	for si := range shards {
+		off := cw.n
+		if err := enc.Encode(&shards[si]); err != nil {
+			return err
+		}
+		lo := si * target
+		for i := lo; i < lo+shards[si].Nodes; i++ {
+			n := AtlasNodeV2{
+				Addr: s.Nodes[i].Addr, Seen: s.Nodes[i].Seen,
+				Succ: succ[i], Router: routerOf[s.Nodes[i].Addr],
+			}
+			if err := enc.Encode(&n); err != nil {
+				return err
+			}
+		}
+		for _, ri := range routersByShard[si] {
+			if err := enc.Encode(&s.Routers[ri]); err != nil {
+				return err
+			}
+		}
+		idx.Shards = append(idx.Shards, AtlasShardInfo{
+			Off: off, Len: cw.n - off,
+			Nodes: shards[si].Nodes, Routers: shards[si].Routers,
+			Min: shards[si].Min, Max: shards[si].Max,
+		})
+	}
+
+	idx.DiamondsOff = cw.n
+	for i := range s.Diamonds {
+		if err := enc.Encode(&s.Diamonds[i]); err != nil {
+			return err
+		}
+	}
+	idx.DiamondsLen = cw.n - idx.DiamondsOff
+
+	indexOff := cw.n
+	if err := enc.Encode(&idx); err != nil {
+		return err
+	}
+	t := atlasTrailer{
+		Kind: atlasTrailerKind, Version: AtlasVersion,
+		IndexOff: indexOff, IndexLen: cw.n - indexOff,
+	}
+	if err := enc.Encode(&t); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func shardTarget(n int) int {
+	if n <= 0 {
+		return DefaultAtlasShardNodes
+	}
+	return n
+}
+
+// decodeShardHeader parses and validates one shard-header line.
+func decodeShardHeader(ls *lineScanner, want int) (AtlasShardHeader, error) {
+	var sh AtlasShardHeader
+	b, err := ls.next()
+	if err != nil {
+		return sh, err
+	}
+	if err := json.Unmarshal(b, &sh); err != nil {
+		return sh, fmt.Errorf("traceio: atlas line %d: bad shard header: %v", ls.line, err)
+	}
+	if sh.Shard != want {
+		return sh, fmt.Errorf("traceio: atlas line %d: shard %d, want %d", ls.line, sh.Shard, want)
+	}
+	if sh.Nodes < 0 || sh.Routers < 0 {
+		return sh, fmt.Errorf("traceio: atlas line %d: negative shard section count", ls.line)
+	}
+	return sh, nil
+}
+
+// decodeV2Node parses and validates one node line; prev/havePrev
+// enforce global canonical order.
+func decodeV2Node(ls *lineScanner, prev packet.Addr, havePrev bool) (AtlasNodeV2, packet.Addr, error) {
+	var n AtlasNodeV2
+	b, err := ls.next()
+	if err != nil {
+		return n, 0, err
+	}
+	if err := json.Unmarshal(b, &n); err != nil {
+		return n, 0, fmt.Errorf("traceio: atlas line %d: bad node: %v", ls.line, err)
+	}
+	addr, err := validateNode(ls, n.Addr, n.Seen, prev, havePrev)
+	if err != nil {
+		return n, 0, err
+	}
+	return n, addr, nil
+}
+
+// decodeV2Body reads the sectioned format after the header, as a plain
+// stream (no seeking): shard structure is validated, then flattened
+// back into the version-independent AtlasSnapshot.
+func decodeV2Body(ls *lineScanner, h AtlasHeader) (*AtlasSnapshot, error) {
+	if h.Shards < 1 {
+		return nil, fmt.Errorf("traceio: atlas v2 header without shard count")
+	}
+	if h.Nodes == 0 && h.Shards != 1 {
+		return nil, fmt.Errorf("traceio: atlas v2: %d shards for 0 nodes", h.Shards)
+	}
+	if h.Nodes > 0 && h.Shards > h.Nodes {
+		return nil, fmt.Errorf("traceio: atlas v2: %d shards for %d nodes", h.Shards, h.Nodes)
+	}
+	s := &AtlasSnapshot{
+		Nodes:   make([]AtlasNode, 0, cappedPrealloc(h.Nodes)),
+		Edges:   make([]AtlasEdge, 0, cappedPrealloc(h.Edges)),
+		Routers: make([]AtlasRouter, 0, cappedPrealloc(h.Routers)),
+	}
+	var err error
+	if s.Pairs, err = decodePairs(ls, h.Pairs); err != nil {
+		return nil, err
+	}
+	nodeIdx := make(map[string]int, cappedPrealloc(h.Nodes))
+	var succs [][]string
+	var prev packet.Addr
+	for si := 0; si < h.Shards; si++ {
+		sh, err := decodeShardHeader(ls, si)
+		if err != nil {
+			return nil, err
+		}
+		for j := 0; j < sh.Nodes; j++ {
+			n, addr, err := decodeV2Node(ls, prev, len(s.Nodes) > 0)
+			if err != nil {
+				return nil, err
+			}
+			prev = addr
+			if j == 0 && sh.Min != n.Addr {
+				return nil, fmt.Errorf("traceio: atlas line %d: shard %d min fence %q != first node %q", ls.line, si, sh.Min, n.Addr)
+			}
+			if j == sh.Nodes-1 && sh.Max != n.Addr {
+				return nil, fmt.Errorf("traceio: atlas line %d: shard %d max fence %q != last node %q", ls.line, si, sh.Max, n.Addr)
+			}
+			nodeIdx[n.Addr] = len(s.Nodes)
+			s.Nodes = append(s.Nodes, AtlasNode{Addr: n.Addr, Seen: n.Seen})
+			succs = append(succs, n.Succ)
+		}
+		for j := 0; j < sh.Routers; j++ {
+			b, err := ls.next()
+			if err != nil {
+				return nil, err
+			}
+			var rt AtlasRouter
+			if err := json.Unmarshal(b, &rt); err != nil {
+				return nil, fmt.Errorf("traceio: atlas line %d: bad router: %v", ls.line, err)
+			}
+			if err := validateRouter(ls, &rt); err != nil {
+				return nil, err
+			}
+			s.Routers = append(s.Routers, rt)
+		}
+	}
+	if len(s.Nodes) != h.Nodes {
+		return nil, fmt.Errorf("traceio: atlas v2: shards hold %d nodes, header claims %d", len(s.Nodes), h.Nodes)
+	}
+	if len(s.Routers) != h.Routers {
+		return nil, fmt.Errorf("traceio: atlas v2: shards hold %d routers, header claims %d", len(s.Routers), h.Routers)
+	}
+	for i, list := range succs {
+		for _, dst := range list {
+			j, ok := nodeIdx[dst]
+			if !ok {
+				return nil, fmt.Errorf("traceio: atlas v2: node %s links to unknown address %q", s.Nodes[i].Addr, dst)
+			}
+			s.Edges = append(s.Edges, AtlasEdge{i, j})
+		}
+	}
+	if len(s.Edges) != h.Edges {
+		return nil, fmt.Errorf("traceio: atlas v2: nodes hold %d edges, header claims %d", len(s.Edges), h.Edges)
+	}
+	if s.Diamonds, err = decodeDiamonds(ls, h.Diamonds); err != nil {
+		return nil, err
+	}
+	// Index and trailer close the file; a stream decode validates their
+	// shape (kinds, counts) but not their byte offsets — that is the
+	// random-access reader's job, which fails loudly on a bad span.
+	b, err := ls.next()
+	if err != nil {
+		return nil, err
+	}
+	var idx AtlasIndex
+	if err := json.Unmarshal(b, &idx); err != nil {
+		return nil, fmt.Errorf("traceio: atlas line %d: bad index: %v", ls.line, err)
+	}
+	if idx.Kind != atlasIndexKind {
+		return nil, fmt.Errorf("traceio: atlas line %d: index kind %q", ls.line, idx.Kind)
+	}
+	if len(idx.Shards) != h.Shards {
+		return nil, fmt.Errorf("traceio: atlas v2: index lists %d shards, header claims %d", len(idx.Shards), h.Shards)
+	}
+	if b, err = ls.next(); err != nil {
+		return nil, err
+	}
+	var t atlasTrailer
+	if err := json.Unmarshal(b, &t); err != nil {
+		return nil, fmt.Errorf("traceio: atlas line %d: bad trailer: %v", ls.line, err)
+	}
+	if t.Kind != atlasTrailerKind || t.Version != AtlasVersion {
+		return nil, fmt.Errorf("traceio: atlas line %d: bad trailer (kind %q version %d)", ls.line, t.Kind, t.Version)
+	}
+	if err := ls.finish(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

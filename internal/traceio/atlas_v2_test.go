@@ -1,0 +1,334 @@
+package traceio
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mmlpt/internal/packet"
+)
+
+// wideSnapshot spans several shards at small ShardNodes settings: nine
+// nodes, two multi-interface routers, cross-shard edges.
+func wideSnapshot() *AtlasSnapshot {
+	return &AtlasSnapshot{
+		Pairs: []AtlasPair{
+			{Pair: 0, Src: "192.0.2.1", Dst: "203.0.113.1"},
+			{Pair: 1, Src: "192.0.2.2", Dst: "203.0.113.2"},
+		},
+		Nodes: []AtlasNode{
+			{Addr: "10.0.0.1", Seen: [][2]int{{0, 1}}},
+			{Addr: "10.0.0.2", Seen: [][2]int{{0, 2}, {1, 3}}},
+			{Addr: "10.0.0.3", Seen: [][2]int{{0, 2}}},
+			{Addr: "10.0.0.4", Seen: [][2]int{{0, 3}}},
+			{Addr: "10.0.0.5", Seen: [][2]int{{1, 1}}},
+			{Addr: "10.0.0.6", Seen: [][2]int{{1, 2}}},
+			{Addr: "10.0.0.7", Seen: [][2]int{{1, 4}}},
+			{Addr: "10.0.0.8", Seen: [][2]int{{1, 5}}},
+			{Addr: "10.0.0.9", Seen: [][2]int{{1, 6}}},
+		},
+		Edges: []AtlasEdge{
+			{0, 1}, {0, 2}, {1, 3}, {2, 3}, {4, 5}, {5, 1}, {6, 7}, {7, 8},
+		},
+		Routers: []AtlasRouter{
+			{Addrs: []string{"10.0.0.2", "10.0.0.3"}},
+			{Addrs: []string{"10.0.0.7", "10.0.0.9"}},
+		},
+		Diamonds: []AtlasDiamond{
+			{Div: "10.0.0.1", Conv: "10.0.0.4", Count: 2, Pairs: []int{0}, MaxWidth: 2, MaxLength: 2},
+		},
+	}
+}
+
+// The satellite guarantee: a legacy v1 file decodes and re-encodes as
+// v2 byte-identically to encoding the original snapshot as v2 directly,
+// and the v2 bytes themselves are a byte-stable fixed point.
+func TestAtlasV1ToV2RoundTripByteStable(t *testing.T) {
+	t.Parallel()
+	s := wideSnapshot()
+	var v1 bytes.Buffer
+	if err := (AtlasCodec{Version: AtlasVersionV1}).Encode(&v1, s); err != nil {
+		t.Fatal(err)
+	}
+	fromV1, err := DecodeAtlas(bytes.NewReader(v1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromV1, s) {
+		t.Fatalf("v1 decode differs:\n got %+v\nwant %+v", fromV1, s)
+	}
+	var direct, migrated bytes.Buffer
+	if err := EncodeAtlas(&direct, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeAtlas(&migrated, fromV1); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(direct.Bytes(), migrated.Bytes()) {
+		t.Fatal("v1→v2 migration bytes differ from direct v2 encode")
+	}
+	fromV2, err := DecodeAtlas(bytes.NewReader(direct.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromV2, s) {
+		t.Fatalf("v2 decode differs:\n got %+v\nwant %+v", fromV2, s)
+	}
+	var again bytes.Buffer
+	if err := EncodeAtlas(&again, fromV2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(direct.Bytes(), again.Bytes()) {
+		t.Fatal("v2 re-encode is not a byte-stable fixed point")
+	}
+}
+
+// Non-default shard sizes are byte-deterministic per configuration and
+// decode back to the same snapshot.
+func TestAtlasV2SmallShardsRoundTrip(t *testing.T) {
+	t.Parallel()
+	s := wideSnapshot()
+	for _, shardNodes := range []int{1, 2, 3, 4, 100} {
+		c := AtlasCodec{ShardNodes: shardNodes}
+		var a, b bytes.Buffer
+		if err := c.Encode(&a, s); err != nil {
+			t.Fatalf("ShardNodes=%d: %v", shardNodes, err)
+		}
+		if err := c.Encode(&b, s); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Fatalf("ShardNodes=%d: encode not deterministic", shardNodes)
+		}
+		dec, err := c.Decode(bytes.NewReader(a.Bytes()))
+		if err != nil {
+			t.Fatalf("ShardNodes=%d: %v", shardNodes, err)
+		}
+		if !reflect.DeepEqual(dec, s) {
+			t.Fatalf("ShardNodes=%d: decode differs", shardNodes)
+		}
+	}
+}
+
+func writeV2File(t *testing.T, s *AtlasSnapshot, shardNodes int) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := (AtlasCodec{ShardNodes: shardNodes}).Encode(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "snap.atlas")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// The indexed reader routes each address to the shard whose fences own
+// it and decodes exactly that block.
+func TestAtlasReaderShardRouting(t *testing.T) {
+	t.Parallel()
+	s := wideSnapshot()
+	r, err := OpenAtlasFile(writeV2File(t, s, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Version() != AtlasVersion {
+		t.Fatalf("Version = %d", r.Version())
+	}
+	if got, want := r.NumShards(), 5; got != want { // ceil(9/2)
+		t.Fatalf("NumShards = %d, want %d", got, want)
+	}
+	if !reflect.DeepEqual(r.Pairs(), s.Pairs) {
+		t.Fatalf("Pairs = %+v", r.Pairs())
+	}
+	// Every node address resolves to a shard that actually contains it.
+	for _, n := range s.Nodes {
+		addr := packet.MustParseAddr(n.Addr)
+		si := r.ShardFor(addr)
+		sh, err := r.ReadShard(si)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, sn := range sh.Nodes {
+			if sn.Addr == n.Addr {
+				found = true
+				if !reflect.DeepEqual(sn.Seen, n.Seen) {
+					t.Fatalf("%s: Seen = %v, want %v", n.Addr, sn.Seen, n.Seen)
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("shard %d does not hold %s", si, n.Addr)
+		}
+	}
+	// Routers live with their representative: 10.0.0.2's component in
+	// the shard owning 10.0.0.2, and member 10.0.0.3's node names it.
+	si := r.ShardFor(packet.MustParseAddr("10.0.0.2"))
+	sh, err := r.ReadShard(si)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sh.Routers) != 1 || sh.Routers[0].Addrs[0] != "10.0.0.2" {
+		t.Fatalf("shard %d routers = %+v", si, sh.Routers)
+	}
+	sh3, err := r.ReadShard(r.ShardFor(packet.MustParseAddr("10.0.0.3")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range sh3.Nodes {
+		if n.Addr == "10.0.0.3" && n.Router != "10.0.0.2" {
+			t.Fatalf("node 10.0.0.3 router = %q, want 10.0.0.2", n.Router)
+		}
+	}
+	// Successor lists carry the edges: node 10.0.0.1 links to .2 and .3.
+	sh1, err := r.ReadShard(r.ShardFor(packet.MustParseAddr("10.0.0.1")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sh1.Nodes[0].Succ; !reflect.DeepEqual(got, []string{"10.0.0.2", "10.0.0.3"}) {
+		t.Fatalf("10.0.0.1 succ = %v", got)
+	}
+	ds, err := r.ReadDiamonds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ds, s.Diamonds) {
+		t.Fatalf("diamonds = %+v", ds)
+	}
+}
+
+// Legacy v1 files still open through the reader, presented as a single
+// synthetic shard with succ and router fields reconstructed.
+func TestAtlasReaderV1Fallback(t *testing.T) {
+	t.Parallel()
+	s := wideSnapshot()
+	var buf bytes.Buffer
+	if err := (AtlasCodec{Version: AtlasVersionV1}).Encode(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "v1.atlas")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenAtlasFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Version() != AtlasVersionV1 || r.NumShards() != 1 {
+		t.Fatalf("Version=%d NumShards=%d", r.Version(), r.NumShards())
+	}
+	sh, err := r.ReadShard(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sh.Nodes) != len(s.Nodes) || len(sh.Routers) != len(s.Routers) {
+		t.Fatalf("synthetic shard: %d nodes %d routers", len(sh.Nodes), len(sh.Routers))
+	}
+	if got := sh.Nodes[0].Succ; !reflect.DeepEqual(got, []string{"10.0.0.2", "10.0.0.3"}) {
+		t.Fatalf("v1 fallback succ = %v", got)
+	}
+	if sh.Nodes[2].Router != "10.0.0.2" {
+		t.Fatalf("v1 fallback router = %q", sh.Nodes[2].Router)
+	}
+	if _, err := r.ReadShard(1); err == nil {
+		t.Fatal("ReadShard(1) on a v1 file must error")
+	}
+}
+
+// Canonical-order violations are decode errors in both formats: that
+// validation is what guarantees every accepted snapshot re-encodes as
+// v2 (shard fences require ordered, parseable addresses).
+func TestAtlasDecodeRejectsNonCanonicalNodes(t *testing.T) {
+	t.Parallel()
+	bad := []string{
+		`{"version":1,"kind":"atlas","nodes":2}` + "\n" +
+			`{"addr":"10.0.0.2"}` + "\n" + `{"addr":"10.0.0.1"}` + "\n",
+		`{"version":1,"kind":"atlas","nodes":2}` + "\n" +
+			`{"addr":"10.0.0.1"}` + "\n" + `{"addr":"10.0.0.1"}` + "\n",
+		`{"version":1,"kind":"atlas","nodes":1}` + "\n" +
+			`{"addr":"not-an-ip"}` + "\n",
+		`{"version":1,"kind":"atlas","routers":1}` + "\n" +
+			`{"addrs":["bogus","10.0.0.2"]}` + "\n",
+	}
+	for i, in := range bad {
+		if _, err := DecodeAtlas(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: decode accepted non-canonical input", i)
+		}
+	}
+}
+
+// Corrupt v2 structure fails loudly at open or read time.
+func TestAtlasReaderHostileInput(t *testing.T) {
+	t.Parallel()
+	s := wideSnapshot()
+	var buf bytes.Buffer
+	if err := EncodeAtlas(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	write := func(b []byte) string {
+		path := filepath.Join(t.TempDir(), "bad.atlas")
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	// Truncations: any prefix must fail open or fail reads, never panic.
+	for n := 0; n < len(raw); n += 97 {
+		r, err := OpenAtlasFile(write(raw[:n]))
+		if err != nil {
+			continue
+		}
+		for i := 0; i < r.NumShards(); i++ {
+			_, _ = r.ReadShard(i)
+		}
+		_, _ = r.ReadDiamonds()
+		r.Close()
+	}
+	// A trailer pointing outside the file.
+	mangled := bytes.Replace(raw, []byte(`"kind":"atlas-trailer","version":2,"index_off":`), nil, 1)
+	if _, err := OpenAtlasFile(write(mangled)); err == nil {
+		t.Error("open accepted a file with a mangled trailer")
+	}
+	// Garbage where the index should be.
+	idx := bytes.Index(raw, []byte(`{"kind":"atlas-index"`))
+	corrupt := append([]byte(nil), raw...)
+	copy(corrupt[idx:], []byte(`XXXXX`))
+	if _, err := OpenAtlasFile(write(corrupt)); err == nil {
+		t.Error("open accepted a corrupt index")
+	}
+}
+
+// The v2 stream decoder rejects structural lies the same way the v1
+// decoder rejects its corruptions.
+func TestAtlasV2DecodeRejections(t *testing.T) {
+	t.Parallel()
+	s := wideSnapshot()
+	var buf bytes.Buffer
+	if err := (AtlasCodec{ShardNodes: 4}).Encode(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	raw := string(buf.Bytes())
+	cases := map[string]string{
+		"fence lies":           strings.Replace(raw, `"min":"10.0.0.1"`, `"min":"10.0.0.2"`, 1),
+		"shard count mismatch": strings.Replace(raw, `"shards":3`, `"shards":2`, 1),
+		"edge to unknown addr": strings.Replace(raw, `"succ":["10.0.0.2","10.0.0.3"]`, `"succ":["10.0.0.2","10.9.9.9"]`, 1),
+		"missing trailer":      strings.TrimSuffix(raw[:strings.LastIndex(strings.TrimRight(raw, "\n"), "\n")+1], ""),
+		"zero shards":          `{"version":2,"kind":"atlas"}` + "\n",
+		"shards gt nodes":      `{"version":2,"kind":"atlas","nodes":1,"shards":5}` + "\n",
+	}
+	for name, in := range cases {
+		if in == raw {
+			t.Fatalf("%s: mutation did not change input", name)
+		}
+		if _, err := DecodeAtlas(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: decode accepted corrupt v2 input", name)
+		}
+	}
+}
