@@ -7,23 +7,32 @@
 // Usage:
 //
 //	eval                                   # run the suite, print the accuracy/cost table
-//	eval -list                             # list scenario names
+//	eval -list                             # list scenarios with descriptions and LB mixes
 //	eval -scenarios 'flow-*' -seeds 5      # scenario selection and seed sweep
+//	eval -tracer mdalite-prior             # add the atlas-prior re-trace columns
 //	eval -out eval.jsonl                   # stream byte-stable records to JSONL
 //	eval -golden testdata/eval_golden.jsonl  # compare against the committed golden,
 //	                                         # exit 1 on drift beyond tolerance
 //
+// With -tracer mdalite-prior each instance additionally runs the
+// prior-seeded re-trace pipeline: an unseeded pass builds an atlas
+// snapshot, priors are extracted through the serving layer, and a
+// prior-seeded re-trace is scored against an unseeded re-trace baseline
+// (probe savings, relative edge recall, stale-prior fallbacks).
+//
 // Regenerate the golden after a deliberate algorithm change with:
 //
-//	go run ./cmd/eval -out testdata/eval_golden.jsonl
+//	go run ./cmd/eval -tracer mdalite-prior -out testdata/eval_golden.jsonl
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"mmlpt/internal/experiments"
+	"mmlpt/internal/fakeroute"
 	"mmlpt/internal/groundtruth"
 	"mmlpt/internal/traceio"
 )
@@ -39,14 +48,29 @@ func main() {
 		golden    = flag.String("golden", "", "compare the run against this golden JSONL, exit 1 on drift")
 		tolRecall = flag.Float64("tol-recall", groundtruth.DefaultRecallTolerance, "absolute drift tolerance on recall/precision/savings metrics (0 = exact)")
 		tolProbes = flag.Float64("tol-probes", groundtruth.DefaultProbesTolerance, "relative drift tolerance on probe counts, either direction (0 = exact)")
-		list      = flag.Bool("list", false, "list scenario names and exit")
+		tracer    = flag.String("tracer", "", "additional tracer column: 'mdalite-prior' scores the atlas-prior-seeded re-trace against an unseeded re-trace baseline")
+		list      = flag.Bool("list", false, "list scenarios with descriptions and LB mixes, then exit")
 	)
 	flag.Parse()
+
+	withPrior := false
+	switch *tracer {
+	case "":
+	case "mdalite-prior":
+		withPrior = true
+	default:
+		fmt.Fprintf(os.Stderr, "unknown tracer %q (supported: mdalite-prior)\n", *tracer)
+		os.Exit(2)
+	}
 
 	suite := groundtruth.Suite()
 	if *list {
 		for _, sc := range suite {
-			fmt.Printf("%-16s pairs=%d flow_based=%t\n", sc.Name, sc.Pairs, sc.FlowBased)
+			pairs := sc.Pairs
+			if pairs == 0 {
+				pairs = 2
+			}
+			fmt.Printf("%-16s pairs=%d lb=%-28s %s\n", sc.Name, pairs, lbMix(sc.Gen.LB), sc.Description)
 		}
 		return
 	}
@@ -62,6 +86,7 @@ func main() {
 		BaseSeed:  *seed,
 		Phi:       *phi,
 		Workers:   *workers,
+		WithPrior: withPrior,
 	}
 	var jw *traceio.JSONLWriter
 	if *out != "" {
@@ -87,6 +112,9 @@ func main() {
 	}
 
 	fmt.Print(experiments.FormatAccuracyCostTable(experiments.AccuracyCostTable(records)))
+	if withPrior {
+		fmt.Print(experiments.FormatPriorRetraceTable(experiments.PriorRetraceTable(records)))
+	}
 
 	if *golden != "" {
 		goldenRecs, err := groundtruth.LoadGolden(*golden, selected)
@@ -107,4 +135,23 @@ func main() {
 		fmt.Printf("golden compare OK against %s (%d records, tol recall %.3g / probes %.3g)\n",
 			*golden, len(goldenRecs), tol.Recall, tol.Probes)
 	}
+}
+
+// lbMix renders a scenario's load-balancer mode mix for -list.
+func lbMix(m fakeroute.LBMix) string {
+	perFlow := 1 - m.PerPacket - m.PerDestination
+	if m.PerPacket == 0 && m.PerDestination == 0 {
+		return "per-flow"
+	}
+	var parts []string
+	if perFlow > 0 {
+		parts = append(parts, fmt.Sprintf("per-flow %.0f%%", 100*perFlow))
+	}
+	if m.PerDestination > 0 {
+		parts = append(parts, fmt.Sprintf("per-dest %.0f%%", 100*m.PerDestination))
+	}
+	if m.PerPacket > 0 {
+		parts = append(parts, fmt.Sprintf("per-packet %.0f%%", 100*m.PerPacket))
+	}
+	return strings.Join(parts, "+")
 }

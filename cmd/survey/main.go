@@ -39,8 +39,10 @@ import (
 	"time"
 
 	"mmlpt/internal/atlas"
+	"mmlpt/internal/atlas/serve"
 	"mmlpt/internal/experiments"
 	"mmlpt/internal/obs"
+	"mmlpt/internal/prior"
 	"mmlpt/internal/survey"
 	"mmlpt/internal/traceio"
 )
@@ -59,6 +61,7 @@ func main() {
 		atlasOut    = flag.String("atlas", "", "merge every trace into a cross-trace atlas and write its snapshot to this file")
 		atlasShards = flag.Int("atlas-shards", 0, "atlas ingestion shards (0 = default; snapshot bytes are identical for every value)")
 		atlasEvery  = flag.Int("atlas-publish-every", 0, "with -atlas: also publish an incremental delta snapshot (<atlas>.dNNNNNN) every N records, for live serving via atlas compact + atlasd")
+		priorPath   = flag.String("prior", "", "seed traces from this atlas snapshot: pairs the atlas has seen probe only to their confirmation budget (ip level, switches the tracer to MDA-Lite)")
 		ckpt        = flag.String("checkpoint", "", "write an atomic progress checkpoint to this file")
 		every       = flag.Int("checkpoint-every", survey.DefaultCheckpointEvery, "records between checkpoints")
 		resume      = flag.Bool("resume", false, "resume from the checkpoint, skipping completed pairs")
@@ -117,6 +120,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown level %q (ip or router)\n", *level)
 		os.Exit(2)
 	}
+	if *priorPath != "" && *level != "ip" {
+		fmt.Fprintln(os.Stderr, "-prior applies to the ip-level survey only")
+		os.Exit(2)
+	}
 
 	// flushProfiles finalizes any active profiles. It is deferred for the
 	// normal return path and called by fail() before os.Exit, so a run
@@ -162,6 +169,21 @@ func main() {
 	cfg := experiments.SurveyConfig{
 		Pairs: *pairs, Seed: *seed, Phi: *phi, Rounds: *rounds, Workers: *workers,
 		Checkpoint: *ckpt, CheckpointEvery: *every, Resume: *resume,
+	}
+	if *priorPath != "" {
+		svc, err := serve.Open(*priorPath, serve.Options{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "opening prior snapshot: %v\n", err)
+			os.Exit(1)
+		}
+		ix, err := prior.FromService(svc)
+		svc.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "indexing prior snapshot: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "prior: %d pairs indexed from %s\n", ix.Len(), *priorPath)
+		cfg.Prior = ix
 	}
 	var jsonlSink *survey.JSONLSink
 	var agg *survey.AggregateSink

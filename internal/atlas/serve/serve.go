@@ -263,6 +263,31 @@ func (s *Service) Routers() ([][]packet.Addr, error) {
 	return out, nil
 }
 
+// ForEachNode calls fn for every node record in the snapshot, in
+// canonical snapshot order (shard by shard, each shard's node order).
+// Like Routers, this is a bulk operation that decodes all shards; prior
+// extraction uses it to rebuild per-pair topology from the provenance
+// and successor sections. Iteration stops at the first error fn returns.
+func (s *Service) ForEachNode(fn func(*traceio.AtlasNodeV2) error) error {
+	g, err := s.acquire()
+	if err != nil {
+		return err
+	}
+	defer g.release()
+	for i := 0; i < g.r.NumShards(); i++ {
+		v, err := g.shard(i)
+		if err != nil {
+			return err
+		}
+		for _, n := range v.nodeList {
+			if err := fn(n); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // DiamondCensus returns the cross-pair diamond census, decoded lazily
 // once per generation from the diamonds section alone.
 func (s *Service) DiamondCensus() ([]traceio.AtlasDiamond, error) {
@@ -329,8 +354,9 @@ type shardSlot struct {
 // shardView is one decoded shard indexed for point lookups.
 type shardView struct {
 	nodes      map[string]*traceio.AtlasNodeV2
-	routers    map[string][]string // representative → member addrs
-	routerList [][]string          // snapshot order, for bulk listing
+	nodeList   []*traceio.AtlasNodeV2 // snapshot order, for bulk iteration
+	routers    map[string][]string    // representative → member addrs
+	routerList [][]string             // snapshot order, for bulk listing
 }
 
 func (s *Service) newGeneration(path string) (*generation, error) {
@@ -403,11 +429,13 @@ func (g *generation) shard(i int) (*shardView, error) {
 	}
 	g.svc.shardDecodes.Add(1)
 	v := &shardView{
-		nodes:   make(map[string]*traceio.AtlasNodeV2, len(sh.Nodes)),
-		routers: make(map[string][]string, len(sh.Routers)),
+		nodes:    make(map[string]*traceio.AtlasNodeV2, len(sh.Nodes)),
+		nodeList: make([]*traceio.AtlasNodeV2, len(sh.Nodes)),
+		routers:  make(map[string][]string, len(sh.Routers)),
 	}
 	for j := range sh.Nodes {
 		v.nodes[sh.Nodes[j].Addr] = &sh.Nodes[j]
+		v.nodeList[j] = &sh.Nodes[j]
 	}
 	for _, r := range sh.Routers {
 		v.routers[r.Addrs[0]] = r.Addrs

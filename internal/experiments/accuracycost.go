@@ -107,3 +107,93 @@ func FormatAccuracyCostTable(rows []AccuracyCostRow) string {
 	}
 	return b.String()
 }
+
+// PriorRetraceRow aggregates one scenario's prior-seeded re-trace
+// columns across its seed sweep: the cost of a re-survey seeded from the
+// cross-trace atlas against the unseeded re-trace baseline.
+type PriorRetraceRow struct {
+	Scenario string
+	Seeds    int
+	// Mean probes per instance for the unseeded re-trace baseline and the
+	// prior-seeded re-trace.
+	RetraceProbes, PriorProbes float64
+	// Savings is 1 - totalPriorProbes/totalRetraceProbes.
+	Savings float64
+	// RelEdgeRecall is mean(prior edge recall / retrace edge recall).
+	RelEdgeRecall float64
+	// PriorHops totals hops confirmed from the prior; StalePairs totals
+	// traces whose prior was abandoned (route churn).
+	PriorHops, StalePairs int
+}
+
+// PriorRetraceTable folds the prior columns of eval records into one row
+// per scenario, skipping records from unseeded runs.
+func PriorRetraceTable(recs []*traceio.EvalRecord) []PriorRetraceRow {
+	idx := make(map[string]int)
+	var rows []PriorRetraceRow
+	type totals struct {
+		retraceProbes, priorProbes uint64
+	}
+	sums := make(map[string]*totals)
+	for _, r := range recs {
+		if r.MDALitePrior == nil || r.MDALiteRetrace == nil {
+			continue
+		}
+		i, ok := idx[r.Scenario]
+		if !ok {
+			i = len(rows)
+			idx[r.Scenario] = i
+			rows = append(rows, PriorRetraceRow{Scenario: r.Scenario})
+			sums[r.Scenario] = &totals{}
+		}
+		row := &rows[i]
+		row.Seeds++
+		row.RetraceProbes += float64(r.MDALiteRetrace.Probes)
+		row.PriorProbes += float64(r.MDALitePrior.Probes)
+		row.RelEdgeRecall += r.PriorRelativeEdgeRecall
+		row.PriorHops += r.MDALitePrior.PriorHops
+		row.StalePairs += r.PriorStalePairs
+		t := sums[r.Scenario]
+		t.retraceProbes += r.MDALiteRetrace.Probes
+		t.priorProbes += r.MDALitePrior.Probes
+	}
+	for i := range rows {
+		row := &rows[i]
+		n := float64(row.Seeds)
+		row.RetraceProbes /= n
+		row.PriorProbes /= n
+		row.RelEdgeRecall /= n
+		if t := sums[row.Scenario]; t.retraceProbes > 0 {
+			row.Savings = 1 - float64(t.priorProbes)/float64(t.retraceProbes)
+		}
+	}
+	return rows
+}
+
+// FormatPriorRetraceTable renders the prior-seeded re-trace comparison
+// plus its headline: aggregate probe savings and mean relative edge
+// recall across the scenarios.
+func FormatPriorRetraceTable(rows []PriorRetraceRow) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("# Atlas-prior re-trace: prior-seeded MDA-Lite vs unseeded re-survey\n")
+	fmt.Fprintf(&b, "%-16s %6s  %12s %11s %8s  %8s %10s %6s\n",
+		"scenario", "seeds", "retrace-pkts", "prior-pkts", "savings",
+		"rel-edge", "prior-hops", "stale")
+	var relSum, num, den float64
+	for _, r := range rows {
+		relSum += r.RelEdgeRecall
+		num += r.PriorProbes * float64(r.Seeds)
+		den += r.RetraceProbes * float64(r.Seeds)
+		fmt.Fprintf(&b, "%-16s %6d  %12.1f %11.1f %7.1f%%  %8.3f %10d %6d\n",
+			r.Scenario, r.Seeds, r.RetraceProbes, r.PriorProbes, 100*r.Savings,
+			r.RelEdgeRecall, r.PriorHops, r.StalePairs)
+	}
+	if den > 0 {
+		fmt.Fprintf(&b, "# re-trace with priors: mean relative edge recall %.3f, probe savings %.1f%%\n",
+			relSum/float64(len(rows)), 100*(1-num/den))
+	}
+	return b.String()
+}

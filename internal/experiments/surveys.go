@@ -7,6 +7,7 @@ import (
 	"mmlpt/internal/core"
 	"mmlpt/internal/mda"
 	"mmlpt/internal/obs"
+	"mmlpt/internal/prior"
 	"mmlpt/internal/stats"
 	"mmlpt/internal/survey"
 )
@@ -20,6 +21,9 @@ type SurveyConfig struct {
 	// Workers is the trace concurrency (0 = GOMAXPROCS, 1 = serial).
 	// Results are identical for every worker count.
 	Workers int
+	// Prior seeds the IP-level survey from an atlas-derived index and
+	// switches it to the MDA-Lite (the prior-consuming tracer).
+	Prior *prior.Index
 	// Sinks, Checkpoint, CheckpointEvery, Resume and Progress thread the
 	// streaming pipeline through to survey.Run; all optional.
 	Sinks           []survey.Sink
@@ -32,22 +36,29 @@ type SurveyConfig struct {
 func (cfg SurveyConfig) runConfig(algo survey.Algo) survey.RunConfig {
 	return survey.RunConfig{
 		Algo: algo, Phi: cfg.Phi, Retries: 1,
-		Workers: cfg.Workers,
-		Trace:   mda.Config{Seed: cfg.Seed},
-		Sinks:   cfg.Sinks, Checkpoint: cfg.Checkpoint,
+		Workers: cfg.Workers, Prior: cfg.Prior,
+		Trace: mda.Config{Seed: cfg.Seed},
+		Sinks: cfg.Sinks, Checkpoint: cfg.Checkpoint,
 		CheckpointEvery: cfg.CheckpointEvery, Resume: cfg.Resume,
 		Progress: cfg.Progress,
 	}
 }
 
 // IPSurvey runs the Sec 5.1 IP-level survey with the MDA (as the paper
-// did) and returns the result for figure extraction.
+// did) and returns the result for figure extraction. With a prior index
+// it runs the MDA-Lite instead — the tracer that consumes priors — so a
+// re-survey seeded from an earlier atlas spends its confirmation budget
+// rather than the full stopping-rule cost.
 func IPSurvey(cfg SurveyConfig) (*survey.Result, error) {
 	if cfg.Pairs == 0 {
 		cfg.Pairs = 400
 	}
+	algo := survey.AlgoMDA
+	if cfg.Prior != nil {
+		algo = survey.AlgoMDALite
+	}
 	u := survey.Generate(survey.GenConfig{Seed: cfg.Seed ^ 0x1b5e7, Pairs: cfg.Pairs})
-	return survey.Run(u, cfg.runConfig(survey.AlgoMDA))
+	return survey.Run(u, cfg.runConfig(algo))
 }
 
 // RouterSurvey runs the Sec 5.2 router-level survey with the multilevel

@@ -1,12 +1,16 @@
 package groundtruth
 
 import (
+	"os"
 	"sync/atomic"
 
+	"mmlpt/internal/atlas"
+	"mmlpt/internal/atlas/serve"
 	"mmlpt/internal/mda"
 	"mmlpt/internal/mdalite"
 	"mmlpt/internal/nprand"
 	"mmlpt/internal/par"
+	"mmlpt/internal/prior"
 	"mmlpt/internal/probe"
 	"mmlpt/internal/topo"
 	"mmlpt/internal/traceio"
@@ -27,6 +31,12 @@ type Config struct {
 	// for the nerf test proving the golden compare catches a weakened
 	// stopping rule.
 	Stop []int
+	// WithPrior adds the atlas-prior re-trace columns to every record: an
+	// unseeded MDA-Lite pass builds an atlas snapshot, priors are
+	// extracted from it through the serving layer, and a prior-seeded
+	// re-trace is scored against an unseeded re-trace baseline over the
+	// same (possibly churned) network.
+	WithPrior bool
 	// Workers is how many (scenario, seed) instances are evaluated
 	// concurrently (0 = GOMAXPROCS, 1 = serial). Instances are fully
 	// independent — each builds its own networks — so records are
@@ -61,23 +71,42 @@ func Run(cfg Config) ([]*traceio.EvalRecord, error) {
 		}
 	}
 	records := make([]*traceio.EvalRecord, 0, len(jobs))
+	type outcome struct {
+		rec *traceio.EvalRecord
+		err error
+	}
 	var (
 		stopped atomic.Bool
 		runErr  error
 	)
-	par.Ordered(len(jobs), cfg.Workers, func(i int) *traceio.EvalRecord {
+	par.Ordered(len(jobs), cfg.Workers, func(i int) outcome {
 		if stopped.Load() {
-			return nil
+			return outcome{}
 		}
 		j := jobs[i]
-		return Evaluate(j.sc, cfg.BaseSeed, j.seedIdx, cfg.Phi, cfg.Stop)
-	}, func(i int, rec *traceio.EvalRecord) {
-		if runErr != nil || rec == nil {
+		if cfg.WithPrior {
+			rec, err := EvaluateWithPrior(j.sc, cfg.BaseSeed, j.seedIdx, cfg.Phi, cfg.Stop)
+			if err != nil {
+				stopped.Store(true)
+			}
+			return outcome{rec: rec, err: err}
+		}
+		return outcome{rec: Evaluate(j.sc, cfg.BaseSeed, j.seedIdx, cfg.Phi, cfg.Stop)}
+	}, func(i int, o outcome) {
+		if runErr != nil {
 			return
 		}
-		records = append(records, rec)
+		if o.err != nil {
+			runErr = o.err
+			stopped.Store(true)
+			return
+		}
+		if o.rec == nil {
+			return
+		}
+		records = append(records, o.rec)
 		if cfg.OnRecord != nil {
-			if err := cfg.OnRecord(rec); err != nil {
+			if err := cfg.OnRecord(o.rec); err != nil {
 				runErr = err
 				stopped.Store(true)
 			}
@@ -140,6 +169,135 @@ func runAlgo(sc Scenario, seed uint64, phi int, stop []int, lite bool) traceio.A
 		}
 		if res.SwitchedToMDA {
 			ev.Switched++
+		}
+		agg.Add(topo.Diff(res.Graph, pair.Truth))
+	}
+	ev.VertexRecall = agg.VertexRecall()
+	ev.EdgeRecall = agg.EdgeRecall()
+	ev.DiamondRecall = agg.DiamondRecall()
+	ev.VertexPrecision = agg.VertexPrecision()
+	ev.EdgePrecision = agg.EdgePrecision()
+	ev.FalseVertices = agg.FalseVertices
+	ev.FalseEdges = agg.FalseEdges
+	return ev
+}
+
+// retraceSeedSalt separates the re-trace passes' flow-seed stream from
+// the first pass's: a re-survey is a second, independent measurement.
+const retraceSeedSalt = 0x72657472 // "retr"
+
+// EvaluateWithPrior scores one instance like Evaluate, then adds the
+// atlas-prior re-trace columns. An unseeded MDA-Lite pass over the
+// pre-churn network populates an atlas whose snapshot round-trips
+// through the serving layer (the same indexed v2 format atlasd serves)
+// into a prior index; the completed sessions donate their flow landings
+// as hints. Two passes over the re-trace network — prior-seeded and
+// unseeded, same flow seeds — then measure probe savings against edge
+// recall and staleness.
+func EvaluateWithPrior(sc Scenario, baseSeed uint64, seedIdx, phi int, stop []int) (*traceio.EvalRecord, error) {
+	rec := Evaluate(sc, baseSeed, seedIdx, phi, stop)
+	sc.fill()
+	seed := scenarioSeed(baseSeed, sc.Name, seedIdx)
+
+	// Pass 1: unseeded MDA-Lite over the pre-churn network, feeding the
+	// atlas. Sessions are kept so their flow landings become hints.
+	inst := sc.Build(seed)
+	al := atlas.New(atlas.Options{})
+	sessions := make([]*mda.Session, len(inst.Pairs))
+	for i, pair := range inst.Pairs {
+		p := probe.NewSimProber(inst.Net, pair.Src, pair.Dst)
+		p.Retries = sc.Retries
+		s := mda.NewSession(p, mda.Config{Seed: nprand.IndexedSeed(seed, i), Stop: stop})
+		res := mdalite.Run(s, phi)
+		sessions[i] = s
+		vs, es := traceio.EncodeGraph(res.Graph)
+		err := al.AddRecord(&traceio.SurveyRecord{
+			PairIndex: i,
+			Trace: traceio.JSONTrace{
+				Src: pair.Src.String(), Dst: pair.Dst.String(),
+				Algorithm: "mda-lite", Vertices: vs, Edges: es,
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	ix, err := indexSnapshot(al)
+	if err != nil {
+		return nil, err
+	}
+	for i, pair := range inst.Pairs {
+		if pp := ix.Lookup(pair.Src, pair.Dst); pp != nil {
+			pp.CaptureLandings(sessions[i])
+		}
+	}
+
+	seeded := runRetrace(sc, seed, phi, stop, ix)
+	baseline := runRetrace(sc, seed, phi, stop, nil)
+	rec.MDALitePrior, rec.MDALiteRetrace = &seeded, &baseline
+	if baseline.Probes > 0 {
+		rec.PriorProbeSavings = 1 - float64(seeded.Probes)/float64(baseline.Probes)
+	}
+	rec.PriorRelativeEdgeRecall = 1
+	if baseline.EdgeRecall > 0 {
+		rec.PriorRelativeEdgeRecall = seeded.EdgeRecall / baseline.EdgeRecall
+	}
+	rec.PriorStalePairs = seeded.PriorStale
+	return rec, nil
+}
+
+// indexSnapshot round-trips an in-memory atlas through the on-disk v2
+// snapshot format and the serving layer into a prior index, so eval
+// priors are extracted exactly the way cmd/survey -prior extracts them.
+func indexSnapshot(al *atlas.Atlas) (*prior.Index, error) {
+	f, err := os.CreateTemp("", "eval-prior-*.atlas")
+	if err != nil {
+		return nil, err
+	}
+	path := f.Name()
+	f.Close()
+	defer os.Remove(path)
+	if err := traceio.WriteAtlasFile(path, al.Snapshot()); err != nil {
+		return nil, err
+	}
+	svc, err := serve.Open(path, serve.Options{})
+	if err != nil {
+		return nil, err
+	}
+	defer svc.Close()
+	return prior.FromService(svc)
+}
+
+// runRetrace traces every pair of a re-trace instance with the MDA-Lite,
+// prior-seeded when ix is non-nil, and aggregates the diff against the
+// re-trace ground truth (churned pairs' truth is their new route).
+func runRetrace(sc Scenario, seed uint64, phi int, stop []int, ix *prior.Index) traceio.AlgoEval {
+	inst := sc.BuildRetrace(seed)
+	var agg topo.DiffStats
+	ev := traceio.AlgoEval{Algo: "mda-lite-retrace"}
+	if ix != nil {
+		ev.Algo = "mda-lite-prior"
+	}
+	for i, pair := range inst.Pairs {
+		p := probe.NewSimProber(inst.Net, pair.Src, pair.Dst)
+		p.Retries = sc.Retries
+		cfg := mda.Config{Seed: nprand.IndexedSeed(seed^retraceSeedSalt, i), Stop: stop}
+		if ix != nil {
+			if pp := ix.Lookup(pair.Src, pair.Dst); pp != nil {
+				cfg.Prior = pp
+			}
+		}
+		res := mdalite.Trace(p, cfg, phi)
+		ev.Probes += probe.TotalSent(p)
+		if res.ReachedDst {
+			ev.Reached++
+		}
+		if res.SwitchedToMDA {
+			ev.Switched++
+		}
+		ev.PriorHops += res.PriorHopsConfirmed
+		if res.PriorAbandoned {
+			ev.PriorStale++
 		}
 		agg.Add(topo.Diff(res.Graph, pair.Truth))
 	}

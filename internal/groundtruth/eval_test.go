@@ -10,8 +10,10 @@ import (
 	"mmlpt/internal/traceio"
 )
 
-// testScenarios is a fast two-scenario subset exercising both the
-// uniform (no-switch) and the switching regimes.
+// testScenarios is a fast three-scenario subset exercising the uniform
+// (no-switch) and switching regimes, plus mid-trace route churn for the
+// prior-seeded passes (Build ignores churn, so unseeded runs see a
+// plain third scenario).
 func testScenarios() []Scenario {
 	return []Scenario{
 		{
@@ -25,6 +27,14 @@ func testScenarios() []Scenario {
 			Gen:   testGen(2, 4, 3, 4, false),
 			Pairs: 2,
 		},
+		{
+			Name:           "t-churn",
+			Gen:            testGen(2, 3, 2, 3, true),
+			Pairs:          3,
+			FlowBased:      true,
+			RetraceChurn:   0.6,
+			RetraceChurnAt: 40, // mid-trace flap, not just a stale prior
+		},
 	}
 }
 
@@ -37,33 +47,39 @@ func testGen(wmin, wmax, lmin, lmax int, uniform bool) (g fakeroute.GenSpec) {
 }
 
 // Determinism guard: the eval JSONL must be byte-identical for every
-// worker count, mirroring the survey/atlas guards. Any nondeterminism in
-// generation, tracing, diffing or record encoding shows up here as a
-// byte diff.
+// worker count, mirroring the survey/atlas guards — in unseeded mode and
+// in prior mode, where each instance additionally builds an atlas
+// snapshot, extracts priors through the serving layer, and re-traces a
+// churned network (t-churn flips routes mid-trace). Any nondeterminism
+// in generation, tracing, prior extraction, diffing or record encoding
+// shows up here as a byte diff.
 func TestEvalByteIdenticalAcrossWorkers(t *testing.T) {
 	t.Parallel()
-	var ref []byte
-	for _, workers := range []int{1, 4, 8} {
-		var buf bytes.Buffer
-		recs, err := Run(Config{
-			Scenarios: testScenarios(), Seeds: 3, BaseSeed: 11, Workers: workers,
-			OnRecord: func(r *traceio.EvalRecord) error { return r.WriteJSONL(&buf) },
-		})
-		if err != nil {
-			t.Fatalf("workers=%d: %v", workers, err)
-		}
-		if len(recs) != 6 {
-			t.Fatalf("workers=%d: got %d records, want 6", workers, len(recs))
-		}
-		if ref == nil {
-			ref = append([]byte(nil), buf.Bytes()...)
-			if len(ref) == 0 {
-				t.Fatal("reference run produced no bytes; the guard would be vacuous")
+	for _, withPrior := range []bool{false, true} {
+		var ref []byte
+		for _, workers := range []int{1, 4, 8} {
+			var buf bytes.Buffer
+			recs, err := Run(Config{
+				Scenarios: testScenarios(), Seeds: 3, BaseSeed: 11, Workers: workers,
+				WithPrior: withPrior,
+				OnRecord:  func(r *traceio.EvalRecord) error { return r.WriteJSONL(&buf) },
+			})
+			if err != nil {
+				t.Fatalf("prior=%t workers=%d: %v", withPrior, workers, err)
 			}
-			continue
-		}
-		if !bytes.Equal(buf.Bytes(), ref) {
-			t.Errorf("workers=%d: eval JSONL differs from workers=1 reference", workers)
+			if len(recs) != 9 {
+				t.Fatalf("prior=%t workers=%d: got %d records, want 9", withPrior, workers, len(recs))
+			}
+			if ref == nil {
+				ref = append([]byte(nil), buf.Bytes()...)
+				if len(ref) == 0 {
+					t.Fatal("reference run produced no bytes; the guard would be vacuous")
+				}
+				continue
+			}
+			if !bytes.Equal(buf.Bytes(), ref) {
+				t.Errorf("prior=%t workers=%d: eval JSONL differs from workers=1 reference", withPrior, workers)
+			}
 		}
 	}
 }

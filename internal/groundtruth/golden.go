@@ -115,23 +115,36 @@ func compareRecord(got, golden *traceio.EvalRecord, tol Tolerances) []Drift {
 		}
 	}
 
-	for _, a := range []struct {
-		name      string
-		got, gold traceio.AlgoEval
-	}{
-		{"mda", got.MDA, golden.MDA},
-		{"mdalite", got.MDALite, golden.MDALite},
-	} {
-		relDrift(a.name+".probes", float64(a.gold.Probes), float64(a.got.Probes))
-		absDrift(a.name+".vertex_recall", a.gold.VertexRecall, a.got.VertexRecall)
-		absDrift(a.name+".edge_recall", a.gold.EdgeRecall, a.got.EdgeRecall)
-		absDrift(a.name+".diamond_recall", a.gold.DiamondRecall, a.got.DiamondRecall)
-		absDrift(a.name+".vertex_precision", a.gold.VertexPrecision, a.got.VertexPrecision)
-		absDrift(a.name+".edge_precision", a.gold.EdgePrecision, a.got.EdgePrecision)
-		exact(a.name+".reached", float64(a.gold.Reached), float64(a.got.Reached))
+	compareAlgo := func(name string, gold, v traceio.AlgoEval) {
+		relDrift(name+".probes", float64(gold.Probes), float64(v.Probes))
+		absDrift(name+".vertex_recall", gold.VertexRecall, v.VertexRecall)
+		absDrift(name+".edge_recall", gold.EdgeRecall, v.EdgeRecall)
+		absDrift(name+".diamond_recall", gold.DiamondRecall, v.DiamondRecall)
+		absDrift(name+".vertex_precision", gold.VertexPrecision, v.VertexPrecision)
+		absDrift(name+".edge_precision", gold.EdgePrecision, v.EdgePrecision)
+		exact(name+".reached", float64(gold.Reached), float64(v.Reached))
 	}
+	compareAlgo("mda", golden.MDA, got.MDA)
+	compareAlgo("mdalite", golden.MDALite, got.MDALite)
 	absDrift("probe_savings", golden.ProbeSavings, got.ProbeSavings)
 	absDrift("relative_edge_recall", golden.RelativeEdgeRecall, got.RelativeEdgeRecall)
+
+	// Prior columns are compared only when the run produced them: a
+	// non-prior CI group legitimately runs unseeded against a golden that
+	// carries prior columns. The reverse — a prior run whose golden has no
+	// prior columns — is a drift, so the prior gate cannot silently turn
+	// into a no-op.
+	if got.MDALitePrior != nil {
+		if golden.MDALitePrior == nil || golden.MDALiteRetrace == nil {
+			note("prior columns missing from golden", 0, 1)
+			return drifts
+		}
+		compareAlgo("mdalite_prior", *golden.MDALitePrior, *got.MDALitePrior)
+		compareAlgo("mdalite_retrace", *golden.MDALiteRetrace, *got.MDALiteRetrace)
+		absDrift("prior_probe_savings", golden.PriorProbeSavings, got.PriorProbeSavings)
+		absDrift("prior_relative_edge_recall", golden.PriorRelativeEdgeRecall, got.PriorRelativeEdgeRecall)
+		exact("prior_stale_pairs", float64(golden.PriorStalePairs), float64(got.PriorStalePairs))
+	}
 	return drifts
 }
 

@@ -1,0 +1,124 @@
+package groundtruth
+
+import (
+	"testing"
+
+	"mmlpt/internal/topo"
+)
+
+// Acceptance pin for the PR's headline claim: on re-trace scenarios the
+// prior-seeded MDA-Lite spends ≥30% fewer probes than an unseeded
+// re-survey at ≥0.95 mean relative edge recall — and under route churn
+// the stale priors actually fall back, with recall preserved.
+func TestPriorRetraceSavingsAndRecallPin(t *testing.T) {
+	t.Parallel()
+	recs, err := Run(Config{Seeds: 3, BaseSeed: 1, WithPrior: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var priorProbes, retraceProbes uint64
+	var relSum float64
+	var n int
+	churnStale := 0
+	for _, r := range recs {
+		if r.MDALitePrior == nil || r.MDALiteRetrace == nil {
+			t.Fatalf("%s[seed %d]: prior columns missing from a WithPrior run", r.Scenario, r.SeedIndex)
+		}
+		priorProbes += r.MDALitePrior.Probes
+		retraceProbes += r.MDALiteRetrace.Probes
+		relSum += r.PriorRelativeEdgeRecall
+		n++
+		if r.Scenario == "retrace-churn" {
+			churnStale += r.PriorStalePairs
+			if r.PriorRelativeEdgeRecall < 0.95 {
+				t.Errorf("retrace-churn[seed %d]: relative edge recall %.3f < 0.95 — fallback lost topology",
+					r.SeedIndex, r.PriorRelativeEdgeRecall)
+			}
+		} else if r.PriorStalePairs > 0 && (r.Scenario == "flow-narrow" || r.Scenario == "flow-wide" || r.Scenario == "flow-long") {
+			t.Errorf("%s[seed %d]: %d stale priors on an unchanged deterministic route",
+				r.Scenario, r.SeedIndex, r.PriorStalePairs)
+		}
+	}
+	if retraceProbes == 0 || n == 0 {
+		t.Fatal("no prior re-trace data")
+	}
+	savings := 1 - float64(priorProbes)/float64(retraceProbes)
+	if savings < 0.30 {
+		t.Errorf("prior-seeded re-trace savings %.1f%% < 30%% (prior %d vs retrace %d probes)",
+			100*savings, priorProbes, retraceProbes)
+	}
+	if mean := relSum / float64(n); mean < 0.95 {
+		t.Errorf("mean relative edge recall %.3f < 0.95", mean)
+	}
+	if churnStale == 0 {
+		t.Error("retrace-churn produced no stale priors; the fallback path went unexercised")
+	}
+}
+
+// The golden compare's prior rules: an unseeded run passes against a
+// prior-bearing golden (non-prior CI groups), but a prior run against a
+// golden without prior columns is a drift (the gate cannot silently
+// disappear), and a prior self-compare is exact.
+func TestGoldenComparePriorRules(t *testing.T) {
+	t.Parallel()
+	scs := testScenarios()
+	unseeded, err := Run(Config{Scenarios: scs, Seeds: 2, BaseSeed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeded, err := Run(Config{Scenarios: scs, Seeds: 2, BaseSeed: 5, WithPrior: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drifts := CompareGolden(seeded, seeded, Tolerances{}); len(drifts) != 0 {
+		t.Fatalf("prior self-compare drifted: %v", drifts)
+	}
+	if drifts := CompareGolden(unseeded, seeded, Tolerances{}); len(drifts) != 0 {
+		t.Fatalf("unseeded run against prior golden drifted: %v", drifts)
+	}
+	drifts := CompareGolden(seeded, unseeded, Tolerances{})
+	if len(drifts) == 0 {
+		t.Fatal("prior run against a prior-less golden passed; the prior gate is vacuous")
+	}
+	// The unseeded columns of a WithPrior run must be identical to an
+	// unseeded run's: adding the third tracer cannot perturb the first two.
+	for i := range unseeded {
+		if unseeded[i].MDA != seeded[i].MDA || unseeded[i].MDALite != seeded[i].MDALite {
+			t.Fatalf("record %d: unseeded columns differ between plain and WithPrior runs", i)
+		}
+	}
+}
+
+// BuildRetrace determinism and churn semantics: equal seeds rebuild
+// identical re-trace truth, churned pairs' truth differs from Build's,
+// and un-churned pairs' truth is byte-identical to Build's.
+func TestBuildRetraceChurn(t *testing.T) {
+	t.Parallel()
+	var sc Scenario
+	for _, s := range Suite() {
+		if s.Name == "retrace-churn" {
+			sc = s
+		}
+	}
+	if sc.Name == "" {
+		t.Fatal("retrace-churn scenario missing from the suite")
+	}
+	base := sc.Build(77)
+	a := sc.BuildRetrace(77)
+	b := sc.BuildRetrace(77)
+	churned := 0
+	for i := range a.Pairs {
+		if !topo.Equal(a.Pairs[i].Truth, b.Pairs[i].Truth) {
+			t.Fatalf("pair %d: re-trace truth differs across identical builds", i)
+		}
+		if !topo.Equal(a.Pairs[i].Truth, base.Pairs[i].Truth) {
+			churned++
+		}
+	}
+	if churned == 0 {
+		t.Fatal("no pair churned at RetraceChurn=0.5 over 4 pairs (all seeds)")
+	}
+	if churned == len(a.Pairs) {
+		t.Fatal("every pair churned; un-churned prior coverage went unexercised")
+	}
+}

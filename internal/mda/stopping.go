@@ -62,6 +62,16 @@ func Default95(maxK int) []int { return StoppingPoints(0.05, maxK) }
 // Veitch et al.'s Table 1: n1 = 9, n2 = 17, n3 = 25, n4 = 33.
 func VeitchTable1(maxK int) []int { return StoppingPoints(1.0/256, maxK) }
 
+// ConfirmBudget returns the probe budget for confirming a hop whose
+// prior expects k vertices. It is the stopping point n_k itself: under
+// the MDA hypothesis test, n_k probes over a width-k hop bound the
+// probability of an unseen (k+1)-th successor, so a confirmation pass
+// that has seen all k expected vertices within n_k probes has exactly
+// the evidence the discovery pass would have needed to stop — and a
+// pass that exhausts n_k probes without covering the expected set has
+// statistically significant evidence the route changed.
+func ConfirmBudget(nk []int, k int) int { return Stop(nk, k) }
+
 // Stop returns n_k from the table, extending past the end by the final
 // increment so very wide hops still terminate.
 func Stop(nk []int, k int) int {

@@ -30,6 +30,31 @@ type Config struct {
 	// switch: reuse is where the hop-by-hop edge knowledge comes from,
 	// so disabling it shifts work onto the edge-completion step).
 	DisableFlowReuse bool
+	// Prior, when non-nil, supplies the expected topology from an earlier
+	// trace of the same (src, dst) pair. The MDA-Lite then probes each
+	// covered hop only to the confirmation budget and falls back to full
+	// discovery from the enclosing divergence hop on any mismatch.
+	Prior TracePrior
+}
+
+// TracePrior is the expected topology of one (src, dst) pair, extracted
+// from a cross-trace atlas. Implementations must be read-only during the
+// trace: the session consults the prior but never mutates it.
+type TracePrior interface {
+	// NumHops returns the number of hops the prior covers (the expected
+	// hop count of the destination, exclusive).
+	NumHops() int
+	// HopAddrs returns the expected interface addresses at hop h in a
+	// deterministic (sorted) order, or ok=false when the prior does not
+	// cover hop h (e.g. the earlier trace saw only stars there).
+	HopAddrs(h int) (addrs []packet.Addr, ok bool)
+	// HasEdge reports whether the prior recorded a link from u (at some
+	// hop h) to w (at hop h+1).
+	HasEdge(u, w packet.Addr) bool
+	// FlowHints returns flow identifiers previously observed to land on
+	// addr at hop h, or nil when unknown. Hints only reorder probing;
+	// correctness never depends on them.
+	FlowHints(h int, addr packet.Addr) []uint16
 }
 
 func (c *Config) fill() {
@@ -55,6 +80,16 @@ type Result struct {
 	// SwitchedToMDA is set by the MDA-Lite when a meshing or asymmetry
 	// detection forced a switch to the full MDA.
 	SwitchedToMDA bool
+	// EdgeCompletionTruncated counts hop pairs where the MDA-Lite's
+	// edge-completion loop hit its iteration cap while still making
+	// progress, so some edges may have been left undiscovered.
+	EdgeCompletionTruncated int
+	// PriorHopsConfirmed counts hops settled by prior confirmation alone
+	// (probed only to the confirmation budget; zero without Config.Prior).
+	PriorHopsConfirmed int
+	// PriorAbandoned is set when a prior-seeded trace hit a mismatch
+	// (new vertex, missing vertex) and fell back to full discovery.
+	PriorAbandoned bool
 	// Obs carries the alias-resolution observations if requested.
 	Obs *obs.Observations
 }
@@ -78,6 +113,16 @@ type Session struct {
 	usedFlow map[uint16]bool
 	dstHop   int
 	baseSent uint64
+
+	// PriorConfirmedHops counts hops the MDA-Lite settled by prior
+	// confirmation alone; PriorAbandoned records a mismatch-triggered
+	// fallback. Both are maintained by the mdalite package and copied
+	// into the Result by Finish.
+	PriorConfirmedHops int
+	PriorAbandoned     bool
+	// EdgeCompletionTruncs counts edge-completion iteration-cap hits
+	// (maintained by the mdalite package).
+	EdgeCompletionTruncs int
 }
 
 // NewSession prepares a trace session over p.
@@ -482,13 +527,40 @@ func (s *Session) isDst(v topo.VertexID) bool {
 // Finish assembles the Result.
 func (s *Session) Finish(switched bool) *Result {
 	return &Result{
-		Graph:         s.G,
-		ReachedDst:    s.dstHop >= 0,
-		DstHop:        s.dstHop,
-		Probes:        s.ProbesSent(),
-		SwitchedToMDA: switched,
-		Obs:           s.Cfg.Obs,
+		Graph:                   s.G,
+		ReachedDst:              s.dstHop >= 0,
+		DstHop:                  s.dstHop,
+		Probes:                  s.ProbesSent(),
+		SwitchedToMDA:           switched,
+		EdgeCompletionTruncated: s.EdgeCompletionTruncs,
+		PriorHopsConfirmed:      s.PriorConfirmedHops,
+		PriorAbandoned:          s.PriorAbandoned,
+		Obs:                     s.Cfg.Obs,
 	}
+}
+
+// FlowLanding pairs a flow identifier with the interface address it was
+// observed to reach at some hop.
+type FlowLanding struct {
+	Flow uint16
+	Addr packet.Addr
+}
+
+// HopLandings returns the responsive flow→address observations at hop h
+// in ascending flow order. Prior extraction uses it to capture flow
+// hints for the next re-trace of the same pair.
+func (s *Session) HopLandings(h int) []FlowLanding {
+	if h < 0 || h >= len(s.flowAt) {
+		return nil
+	}
+	out := make([]FlowLanding, 0, len(s.flowAt[h]))
+	for f, v := range s.flowAt[h] {
+		if a := s.G.V(v).Addr; a != topo.StarAddr {
+			out = append(out, FlowLanding{Flow: f, Addr: a})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Flow < out[j].Flow })
+	return out
 }
 
 func max(a, b int) int {

@@ -11,10 +11,21 @@
 //
 // When either test fires, the session switches over to the full MDA,
 // keeping the cumulative packet count.
+//
+// With Config.Prior set, the trace runs in prior-seeded mode: each hop
+// the prior covers is probed only to the confirmation budget (enough
+// flows to corroborate the expected vertex set under the MDA stopping
+// rule), edge completion and the meshing test are short-circuited for
+// pairs the prior pins, and any mismatch — a vertex the prior does not
+// expect, or an expected vertex missing after the budget — abandons the
+// prior and falls back to full discovery from the enclosing divergence
+// hop, keeping the cumulative packet count so recall is never worse
+// than an unseeded trace.
 package mdalite
 
 import (
 	"mmlpt/internal/mda"
+	"mmlpt/internal/packet"
 	"mmlpt/internal/probe"
 	"mmlpt/internal/topo"
 )
@@ -48,23 +59,110 @@ func Run(s *mda.Session, phi int) *mda.Result {
 // runLite performs hop-by-hop discovery. On detecting meshing or
 // non-uniformity it returns the hop the full MDA should resume from (the
 // hop after the enclosing diamond's divergence point) and true.
+//
+// When the session carries a prior, hops it covers are handled by
+// confirmation rather than discovery, and pairs it pins skip the probing
+// steps; a confirmation mismatch abandons the prior for the rest of the
+// trace and re-discovers from the enclosing divergence hop.
 func runLite(s *mda.Session, phi int) (int, bool) {
-	discoverHop(s, 0)
+	prior := s.Cfg.Prior
+	var confirmed []bool // per hop: settled by prior confirmation
+
+	isConfirmed := func(h int) bool { return h >= 0 && h < len(confirmed) && confirmed[h] }
+	setConfirmed := func(h int, v bool) {
+		for len(confirmed) <= h {
+			confirmed = append(confirmed, false)
+		}
+		confirmed[h] = v
+	}
+
+	// pairChecks runs edge completion plus the meshing and asymmetry
+	// detectors over hop pair (i, i+1), returning the switch decision the
+	// main loop acts on. When the prior pins both hops the probing steps
+	// are short-circuited: the pair's recorded links are adopted from the
+	// prior and the detectors run over the adopted graph for free.
+	pairChecks := func(i int) (int, bool) {
+		if isConfirmed(i) && isConfirmed(i+1) {
+			adoptPriorEdges(s, i, s.Cfg.Prior)
+			// With the pair's links adopted, meshing shows directly in
+			// the graph under the Sec 2.2 three-case definition — the
+			// free form of the meshing test, no phi probes spent.
+			if s.G.Width(i) >= 2 && s.G.Width(i+1) >= 2 && s.G.PairMeshed(i) {
+				return divergenceHop(s, i) + 1, true
+			}
+		} else {
+			completeEdges(s, i)
+			if s.G.Width(i) >= 2 && s.G.Width(i+1) >= 2 {
+				if meshed := meshingTest(s, i, phi); meshed {
+					return divergenceHop(s, i) + 1, true
+				}
+			}
+		}
+		// Non-uniformity: width asymmetry over the completed pair.
+		if pairAsymmetric(s.G, i) {
+			return divergenceHop(s, i) + 1, true
+		}
+		return 0, false
+	}
+
+	// fallBack abandons the prior after a mismatch at hop h: re-discover
+	// every hop from the enclosing divergence point through h in full,
+	// then re-check the re-discovered pairs. Pair (h-1, h) is left to the
+	// main loop, which processes it right after this returns. The packet
+	// count is cumulative — confirmation probes already spent stay spent —
+	// so the fallback trace is never cheaper, and never less complete,
+	// than an unseeded one from this hop range.
+	fallBack := func(h int) (int, bool) {
+		s.PriorAbandoned = true
+		prior = nil
+		d := divergenceHop(s, h)
+		start := d + 1
+		if h == 0 {
+			start = 0
+		}
+		for j := start; j <= h; j++ {
+			setConfirmed(j, false)
+			discoverHop(s, j)
+		}
+		for j := d; j <= h-2; j++ {
+			if sw, switched := pairChecks(j); switched {
+				return sw, true
+			}
+		}
+		return 0, false
+	}
+
+	// handleHop settles hop h: by confirmation when the prior covers it,
+	// by discovery otherwise (and by fallback re-discovery on a
+	// confirmation mismatch).
+	handleHop := func(h int) (int, bool) {
+		if prior != nil {
+			if want, ok := prior.HopAddrs(h); ok && len(want) > 0 {
+				if confirmHop(s, h, want, prior) {
+					setConfirmed(h, true)
+					s.PriorConfirmedHops++
+					return 0, false
+				}
+				return fallBack(h)
+			}
+		}
+		discoverHop(s, h)
+		return 0, false
+	}
+
+	if sw, switched := handleHop(0); switched {
+		return sw, true
+	}
 	starRun := 0
 	for h := 1; h <= s.Cfg.MaxTTL; h++ {
 		if s.HopDone(h - 1) {
 			return 0, false
 		}
-		discoverHop(s, h)
-		completeEdges(s, h-1)
-		if s.G.Width(h-1) >= 2 && s.G.Width(h) >= 2 {
-			if meshed := meshingTest(s, h-1, phi); meshed {
-				return divergenceHop(s, h-1) + 1, true
-			}
+		if sw, switched := handleHop(h); switched {
+			return sw, true
 		}
-		// Non-uniformity: width asymmetry over the completed pair.
-		if pairAsymmetric(s.G, h-1) {
-			return divergenceHop(s, h-1) + 1, true
+		if sw, switched := pairChecks(h - 1); switched {
+			return sw, true
 		}
 		if allStars(s, h) {
 			starRun++
@@ -76,6 +174,163 @@ func runLite(s *mda.Session, phi int) (int, bool) {
 		}
 	}
 	return 0, false
+}
+
+// confirmHop corroborates hop h against the prior's expected vertex set
+// instead of running open-ended discovery. Probing stops as soon as every
+// expected address has been seen — the prior already paid the full
+// stopping-rule cost when the topology was first discovered, so the
+// re-trace only needs evidence the route is unchanged — and is bounded by
+// the confirmation budget n_k for an expected width of k. It reports
+// whether the hop was confirmed; a false return means either a reply
+// from an address the prior does not expect (new vertex) or an expected
+// address still unseen at budget exhaustion (missing vertex), both of
+// which the caller treats as a route change.
+func confirmHop(s *mda.Session, h int, want []packet.Addr, prior mda.TracePrior) bool {
+	wantSet := make(map[packet.Addr]bool, len(want))
+	for _, a := range want {
+		wantSet[a] = true
+	}
+	budget := mda.ConfirmBudget(s.Cfg.Stop, len(want))
+	seen := make(map[packet.Addr]bool, len(want))
+	tried := make(map[uint16]bool)
+	sent := 0
+	mismatch := false
+	stop := false
+
+	note := func(v topo.VertexID) {
+		a := s.G.V(v).Addr
+		if a == topo.StarAddr {
+			return
+		}
+		if !wantSet[a] {
+			mismatch = true
+			stop = true
+			return
+		}
+		if !seen[a] {
+			seen[a] = true
+			if len(seen) == len(want) {
+				stop = true
+			}
+		}
+	}
+
+	try := func(f uint16) {
+		if stop || tried[f] {
+			return
+		}
+		tried[f] = true
+		if v, known := s.VertexAt(h, f); known {
+			note(v) // knowledge already present; no packet needed
+			return
+		}
+		if sent >= budget {
+			stop = true
+			return
+		}
+		sent++
+		v, ok := s.ProbeHop(h, f)
+		if !ok {
+			return
+		}
+		if h > 0 {
+			if u, known := s.VertexAt(h-1, f); known {
+				s.G.AddEdge(u, v)
+			}
+		}
+		note(v)
+	}
+
+	// Pass 0: flow hints — identifiers the prior saw land on each expected
+	// address. Hints only reorder probing toward flows likely to cover the
+	// expected set quickly; stale hints cost at most their probes. Rounds
+	// take one hint per still-unseen address, so one address's hint list
+	// cannot soak the budget before the others get their first try —
+	// landings are usually stable, making the first hint per address
+	// sufficient on an unchanged route.
+	for round := 0; !stop; round++ {
+		tookOne := false
+		for _, a := range want {
+			if stop {
+				break
+			}
+			if seen[a] {
+				continue
+			}
+			if fs := prior.FlowHints(h, a); round < len(fs) {
+				tookOne = true
+				try(fs[round])
+			}
+		}
+		if !tookOne {
+			break
+		}
+	}
+	if h > 0 && !s.Cfg.DisableFlowReuse {
+		// Pass 1: one flow per previous-hop vertex, seeding one edge per
+		// known predecessor, as in discovery.
+		for _, u := range s.G.Hop(h - 1) {
+			if stop {
+				break
+			}
+			if s.IsDst(u) {
+				continue
+			}
+			for _, f := range s.FlowsOf(u) {
+				if !tried[f] {
+					try(f)
+					break
+				}
+			}
+		}
+		// Pass 2: remaining previously used flows.
+		for _, u := range s.G.Hop(h - 1) {
+			if stop {
+				break
+			}
+			if s.IsDst(u) {
+				continue
+			}
+			for _, f := range s.FlowsOf(u) {
+				if stop {
+					break
+				}
+				try(f)
+			}
+		}
+	}
+	// Pass 3: fresh flows.
+	for !stop && sent < budget {
+		f, ok := s.FreshFlow()
+		if !ok {
+			break
+		}
+		try(f)
+	}
+	return !mismatch && len(seen) == len(want)
+}
+
+// adoptPriorEdges short-circuits edge completion for a hop pair both of
+// whose endpoints the prior has confirmed: every link the earlier trace
+// recorded between the corroborated vertex sets is adopted without
+// spending a probe. Star vertices keep only their inferred edges.
+func adoptPriorEdges(s *mda.Session, i int, prior mda.TracePrior) {
+	for _, u := range s.G.Hop(i) {
+		ua := s.G.V(u).Addr
+		if ua == topo.StarAddr {
+			continue
+		}
+		for _, w := range s.G.Hop(i + 1) {
+			wa := s.G.V(w).Addr
+			if wa == topo.StarAddr {
+				continue
+			}
+			if prior.HasEdge(ua, wa) {
+				s.G.AddEdge(u, w)
+			}
+		}
+	}
 }
 
 // divergenceHop walks back from hop h to the enclosing diamond's
@@ -203,13 +458,21 @@ func discoverHop(s *mda.Session, h int) {
 	}
 }
 
+// maxEdgeCompletionIters caps the edge-completion loop: probing can
+// surface a vertex the stopping rule missed, which re-opens the pair, but
+// an adversarial or lossy hop could keep that going indefinitely. A pair
+// still changing when the cap strikes is recorded in the session's
+// truncation counter (surfaced as Result.EdgeCompletionTruncated) so a
+// silently incomplete pair is observable downstream.
+const maxEdgeCompletionIters = 4
+
 // completeEdges runs the deterministic edge-completion step for the hop
 // pair (i, i+1) (Sec 2.3.1): forward probes from successor-less vertices
 // at hop i, backward probes from predecessor-less vertices at hop i+1.
 // Probing can (rarely) surface a vertex the stopping rule missed, so the
 // step loops until stable.
 func completeEdges(s *mda.Session, i int) {
-	for iter := 0; iter < 4; iter++ {
+	for iter := 0; iter < maxEdgeCompletionIters; iter++ {
 		changed := false
 		wi, wj := s.G.Width(i), s.G.Width(i+1)
 		if wj <= wi {
@@ -256,6 +519,9 @@ func completeEdges(s *mda.Session, i int) {
 			return
 		}
 	}
+	// Falling out of the loop means the final iteration still made
+	// progress: the pair was truncated, not stabilized.
+	s.EdgeCompletionTruncs++
 }
 
 // meshingTest applies the Sec 2.3.2 test to hop pair (i, i+1), tracing
@@ -312,27 +578,29 @@ func meshingTest(s *mda.Session, i, phi int) bool {
 // pairAsymmetric implements the non-uniformity detector (Sec 2.3.3): the
 // hop pair shows width asymmetry if successor counts differ across hop i
 // or predecessor counts differ across hop i+1. Star vertices are excluded:
-// their edges are inferred, not measured.
+// their edges are inferred, not measured. The check runs on every hop of
+// the trace loop, so it scans degrees in place instead of materializing
+// per-hop count slices.
 func pairAsymmetric(g *topo.Graph, i int) bool {
-	var succCounts, predCounts []int
-	for _, v := range g.Hop(i) {
-		if g.V(v).Addr == topo.StarAddr {
-			continue
-		}
-		succCounts = append(succCounts, g.OutDegree(v))
-	}
-	for _, v := range g.Hop(i + 1) {
-		if g.V(v).Addr == topo.StarAddr {
-			continue
-		}
-		predCounts = append(predCounts, g.InDegree(v))
-	}
-	return differs(succCounts) || differs(predCounts)
+	return degreesDiffer(g, i, false) || degreesDiffer(g, i+1, true)
 }
 
-func differs(xs []int) bool {
-	for i := 1; i < len(xs); i++ {
-		if xs[i] != xs[0] {
+// degreesDiffer reports whether hop h's non-star vertices disagree on
+// out-degree (pred false) or in-degree (pred true), comparing each degree
+// against the first one seen — allocation-free.
+func degreesDiffer(g *topo.Graph, h int, pred bool) bool {
+	first, have := 0, false
+	for _, v := range g.Hop(h) {
+		if g.V(v).Addr == topo.StarAddr {
+			continue
+		}
+		d := g.OutDegree(v)
+		if pred {
+			d = g.InDegree(v)
+		}
+		if !have {
+			first, have = d, true
+		} else if d != first {
 			return true
 		}
 	}

@@ -15,6 +15,7 @@ import (
 	"mmlpt/internal/obs"
 	"mmlpt/internal/packet"
 	"mmlpt/internal/par"
+	"mmlpt/internal/prior"
 	"mmlpt/internal/probe"
 	"mmlpt/internal/topo"
 	"mmlpt/internal/traceio"
@@ -67,6 +68,10 @@ type TraceOutcome struct {
 	Switched  bool
 	Graph     *topo.Graph
 	Diamonds  []DiamondRecord
+	// PriorHops counts hops confirmed from an atlas prior; PriorStale
+	// marks a trace whose prior mismatched the live route.
+	PriorHops  int
+	PriorStale bool
 	// ML is set for multilevel runs.
 	ML *core.Result
 }
@@ -100,6 +105,12 @@ type RunConfig struct {
 	Rounds, ProbesPerRound int
 	// Retries per probe (0 = prober default).
 	Retries int
+	// Prior seeds MDA-Lite traces from an atlas-derived index: each pair
+	// with an indexed prior probes only to its confirmation budget and
+	// falls back to full discovery on mismatch. Nil traces unseeded. The
+	// index's fingerprint is part of the options hash, so a checkpointed
+	// run refuses to resume under a different prior.
+	Prior *prior.Index
 	// Workers is how many pairs are traced concurrently. Zero selects
 	// GOMAXPROCS; one forces a serial walk. Per-pair seeds and per-trace
 	// network sessions make every trace independent, so the aggregated
@@ -165,6 +176,9 @@ func optionsHash(u *Universe, cfg RunConfig) uint64 {
 		u.Cfg, cfg.Algo, cfg.Trace.Seed, cfg.Trace.MaxTTL,
 		cfg.Trace.MaxConsecutiveStars, cfg.Trace.Stop, cfg.Trace.DisableFlowReuse,
 		cfg.Phi, cfg.MaxPairs, cfg.OnlyLB, cfg.Rounds, cfg.ProbesPerRound, cfg.Retries)
+	if cfg.Prior != nil {
+		fmt.Fprintf(h, "|prior=%d", cfg.Prior.Fingerprint())
+	}
 	return h.Sum64()
 }
 
@@ -352,6 +366,11 @@ func traceOne(u *Universe, idx int, pair Pair, cfg RunConfig) TraceOutcome {
 	case AlgoMDA:
 		r = mda.Trace(p, tc)
 	case AlgoMDALite:
+		if cfg.Prior != nil {
+			if pp := cfg.Prior.Lookup(pair.Src, pair.Dst); pp != nil {
+				tc.Prior = pp
+			}
+		}
 		r = mdalite.Trace(p, tc, cfg.Phi)
 	case AlgoSingleFlow:
 		r = mda.TraceSingleFlow(p, tc)
@@ -367,6 +386,7 @@ func traceOne(u *Universe, idx int, pair Pair, cfg RunConfig) TraceOutcome {
 		Probes:  probe.TotalSent(p),
 		Reached: r.ReachedDst, Switched: r.SwitchedToMDA,
 		Graph: r.Graph, ML: ml,
+		PriorHops: r.PriorHopsConfirmed, PriorStale: r.PriorAbandoned,
 	}
 	for _, d := range r.Graph.Diamonds() {
 		out.Diamonds = append(out.Diamonds, recordDiamond(d, idx, cfg.Phi))

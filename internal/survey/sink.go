@@ -40,7 +40,10 @@ func NewRecord(algo Algo, out TraceOutcome) *traceio.SurveyRecord {
 	if out.ML != nil {
 		jt.AttachMultilevel(out.ML)
 	}
-	rec := &traceio.SurveyRecord{PairIndex: out.PairIndex, HasLB: out.Pair.HasLB, Trace: *jt}
+	rec := &traceio.SurveyRecord{
+		PairIndex: out.PairIndex, HasLB: out.Pair.HasLB, Trace: *jt,
+		PriorHops: out.PriorHops, PriorStale: out.PriorStale,
+	}
 	for _, d := range out.Diamonds {
 		rec.Diamonds = append(rec.Diamonds, traceio.SurveyDiamond{
 			Div: addrLabel(d.Key.Div), Conv: addrLabel(d.Key.Conv),

@@ -40,6 +40,12 @@ type AlgoEval struct {
 	// mismatches behind the precision figures ("false links").
 	FalseVertices int `json:"false_vertices"`
 	FalseEdges    int `json:"false_edges"`
+	// PriorHops counts hops confirmed from an atlas prior across the
+	// instance's traces; PriorStale counts traces whose prior mismatched
+	// the live route and fell back to full discovery. Zero (and omitted)
+	// for unseeded algorithms, keeping pre-prior goldens byte-stable.
+	PriorHops  int `json:"prior_hops,omitempty"`
+	PriorStale int `json:"prior_stale,omitempty"`
 }
 
 // EvalRecord is one (scenario, seed) evaluation: MDA and MDA-Lite over
@@ -67,6 +73,26 @@ type EvalRecord struct {
 	// the MDA found nothing): the paper's "MDA-Lite recovers nearly the
 	// same topology" metric.
 	RelativeEdgeRecall float64 `json:"relative_edge_recall"`
+
+	// Prior-seeded re-trace columns, present only when the harness ran
+	// with the atlas-prior tracer (cmd/eval -tracer mdalite-prior). A
+	// first unseeded pass builds an atlas snapshot; MDALitePrior re-traces
+	// the (possibly churned) network seeded from it, and MDALiteRetrace is
+	// the unseeded re-trace baseline over the same network. All fields are
+	// omitted on unseeded runs, so pre-prior records re-encode
+	// byte-identically.
+	MDALitePrior   *AlgoEval `json:"mdalite_prior,omitempty"`
+	MDALiteRetrace *AlgoEval `json:"mdalite_retrace,omitempty"`
+	// PriorProbeSavings is 1 - mdalite_prior.Probes/mdalite_retrace.Probes:
+	// the re-survey cost the prior avoided.
+	PriorProbeSavings float64 `json:"prior_probe_savings,omitempty"`
+	// PriorRelativeEdgeRecall is the prior-seeded re-trace's edge recall
+	// relative to the unseeded re-trace baseline (1 when the baseline
+	// found nothing).
+	PriorRelativeEdgeRecall float64 `json:"prior_relative_edge_recall,omitempty"`
+	// PriorStalePairs counts re-traced pairs whose prior was abandoned
+	// (route churn between the passes, or an under-corroborated prior).
+	PriorStalePairs int `json:"prior_stale_pairs,omitempty"`
 }
 
 // WriteJSONL appends the record as one JSON line (JSONLWriter

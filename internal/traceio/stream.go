@@ -43,6 +43,12 @@ type SurveyRecord struct {
 	// Diamonds carries the survey metrics per diamond encounter, in hop
 	// order, mirroring the in-memory DiamondRecord list.
 	Diamonds []SurveyDiamond `json:"diamonds,omitempty"`
+	// PriorHops counts the hops confirmed from an atlas prior; PriorStale
+	// marks a trace whose prior mismatched the live route and was
+	// abandoned. Both are zero-valued (and omitted) for unseeded runs, so
+	// pre-prior record files re-encode byte-identically.
+	PriorHops  int  `json:"prior_hops,omitempty"`
+	PriorStale bool `json:"prior_stale,omitempty"`
 }
 
 // WriteJSONL appends the record as one JSON line.
