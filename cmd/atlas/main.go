@@ -174,6 +174,8 @@ func runCompact(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	out := fs.String("o", "", "output snapshot path (required)")
 	shards := fs.Int("shards", 0, "atlas merge shards (0 = default; output bytes are identical for every value)")
+	workers := fs.Int("workers", 0, "merge workers for the streaming compaction (0 = GOMAXPROCS, 1 = serial; output bytes are identical for every value)")
+	quiet := fs.Bool("q", false, "suppress per-input and per-shard progress on stderr")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -182,16 +184,28 @@ func runCompact(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	inputs := fs.Args()
-	if err := atlas.Compact(*out, inputs[0], inputs[1:], atlas.Options{Shards: *shards}); err != nil {
+	progress := func(format string, args ...any) {
+		fmt.Fprintf(stderr, "compact: "+format+"\n", args...)
+	}
+	if *quiet {
+		progress = nil
+	}
+	opt := atlas.Options{Shards: *shards, MergeWorkers: *workers}
+	if err := atlas.CompactWithProgress(*out, inputs[0], inputs[1:], opt, progress); err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
-	s, err := traceio.ReadAtlasFile(*out)
+	// The v2 header carries the totals; no need to re-decode the file
+	// we just wrote only to count its sections.
+	r, err := traceio.OpenAtlasFile(*out)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
-	fmt.Fprintf(stdout, "compacted %d snapshots into %s (%s)\n", len(inputs), *out, atlas.StatsOf(s))
+	h := r.Header()
+	r.Close()
+	st := atlas.Stats{Pairs: h.Pairs, Nodes: h.Nodes, Edges: h.Edges, Routers: h.Routers, Diamonds: h.Diamonds}
+	fmt.Fprintf(stdout, "compacted %d snapshots into %s (%s)\n", len(inputs), *out, st)
 	return 0
 }
 

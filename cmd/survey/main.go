@@ -49,25 +49,26 @@ import (
 
 func main() {
 	var (
-		level       = flag.String("level", "ip", "survey level: ip or router")
-		pairs       = flag.Int("pairs", 1000, "number of source-destination pairs")
-		seed        = flag.Uint64("seed", 1, "random seed")
-		phi         = flag.Int("phi", 2, "MDA-Lite meshing budget")
-		rounds      = flag.Int("rounds", 10, "alias rounds (router level)")
-		workers     = flag.Int("workers", 0, "concurrent trace workers (0 = GOMAXPROCS, 1 = serial; results are identical)")
-		figs        = flag.Bool("figs", false, "also print full figure series")
-		out         = flag.String("out", "", "stream per-trace survey records to this JSONL file as pairs complete")
-		jsonl       = flag.String("jsonl", "", "deprecated alias for -out")
-		atlasOut    = flag.String("atlas", "", "merge every trace into a cross-trace atlas and write its snapshot to this file")
-		atlasShards = flag.Int("atlas-shards", 0, "atlas ingestion shards (0 = default; snapshot bytes are identical for every value)")
-		atlasEvery  = flag.Int("atlas-publish-every", 0, "with -atlas: also publish an incremental delta snapshot (<atlas>.dNNNNNN) every N records, for live serving via atlas compact + atlasd")
-		priorPath   = flag.String("prior", "", "seed traces from this atlas snapshot: pairs the atlas has seen probe only to their confirmation budget (ip level, switches the tracer to MDA-Lite)")
-		ckpt        = flag.String("checkpoint", "", "write an atomic progress checkpoint to this file")
-		every       = flag.Int("checkpoint-every", survey.DefaultCheckpointEvery, "records between checkpoints")
-		resume      = flag.Bool("resume", false, "resume from the checkpoint, skipping completed pairs")
-		prog        = flag.Bool("progress", false, "report pair/probe rates to stderr while running")
-		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
-		memProfile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		level        = flag.String("level", "ip", "survey level: ip or router")
+		pairs        = flag.Int("pairs", 1000, "number of source-destination pairs")
+		seed         = flag.Uint64("seed", 1, "random seed")
+		phi          = flag.Int("phi", 2, "MDA-Lite meshing budget")
+		rounds       = flag.Int("rounds", 10, "alias rounds (router level)")
+		workers      = flag.Int("workers", 0, "concurrent trace workers (0 = GOMAXPROCS, 1 = serial; results are identical)")
+		figs         = flag.Bool("figs", false, "also print full figure series")
+		out          = flag.String("out", "", "stream per-trace survey records to this JSONL file as pairs complete")
+		jsonl        = flag.String("jsonl", "", "deprecated alias for -out")
+		atlasOut     = flag.String("atlas", "", "merge every trace into a cross-trace atlas and write its snapshot to this file")
+		atlasShards  = flag.Int("atlas-shards", 0, "atlas ingestion shards (0 = default; snapshot bytes are identical for every value)")
+		atlasWorkers = flag.Int("atlas-workers", 0, "atlas merge workers for snapshot writes (0 = GOMAXPROCS, 1 = serial; snapshot bytes are identical for every value)")
+		atlasEvery   = flag.Int("atlas-publish-every", 0, "with -atlas: also publish an incremental delta snapshot (<atlas>.dNNNNNN) every N records, for live serving via atlas compact + atlasd")
+		priorPath    = flag.String("prior", "", "seed traces from this atlas snapshot: pairs the atlas has seen probe only to their confirmation budget (ip level, switches the tracer to MDA-Lite)")
+		ckpt         = flag.String("checkpoint", "", "write an atomic progress checkpoint to this file")
+		every        = flag.Int("checkpoint-every", survey.DefaultCheckpointEvery, "records between checkpoints")
+		resume       = flag.Bool("resume", false, "resume from the checkpoint, skipping completed pairs")
+		prog         = flag.Bool("progress", false, "report pair/probe rates to stderr while running")
+		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		memProfile   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 
 		liveDests   = flag.String("live-dests", "", "comma-separated destination IPs: trace live over raw sockets (Linux, CAP_NET_RAW) instead of the simulator")
 		liveSrc     = flag.String("live-src", "", "source IP stamped into live probes (required with -live-dests)")
@@ -194,7 +195,7 @@ func main() {
 	}
 	var atlasSink *survey.AtlasSink
 	if *atlasOut != "" {
-		atlasSink = survey.NewAtlasSink(atlas.Options{Shards: *atlasShards})
+		atlasSink = survey.NewAtlasSink(atlas.Options{Shards: *atlasShards, MergeWorkers: *atlasWorkers})
 		if *atlasEvery > 0 {
 			atlasSink.PublishDeltas(*atlasOut, *atlasEvery)
 		}
@@ -242,9 +243,16 @@ func main() {
 		}
 		if atlasSink != nil {
 			fail(atlasSink.Close()) // flush a final partial delta, if publishing
-			snap := atlasSink.Atlas.Snapshot()
-			fail(traceio.WriteAtlasFile(*atlasOut, snap))
-			fmt.Printf("wrote atlas snapshot to %s (%s)\n", *atlasOut, atlas.StatsOf(snap))
+			// Save streams the snapshot (Atlas.WriteTo): the full
+			// AtlasSnapshot is never materialized, and the v2 header of
+			// the file just written already carries the stat totals.
+			fail(atlasSink.Atlas.Save(*atlasOut))
+			r, err := traceio.OpenAtlasFile(*atlasOut)
+			fail(err)
+			h := r.Header()
+			fail(r.Close())
+			st := atlas.Stats{Pairs: h.Pairs, Nodes: h.Nodes, Edges: h.Edges, Routers: h.Routers, Diamonds: h.Diamonds}
+			fmt.Printf("wrote atlas snapshot to %s (%s)\n", *atlasOut, st)
 			if n := len(atlasSink.Published()); n > 0 {
 				fmt.Printf("published %d atlas deltas alongside %s\n", n, *atlasOut)
 			}

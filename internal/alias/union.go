@@ -98,6 +98,15 @@ func (u *Union) Same(a, b packet.Addr) bool { return u.Find(a) == u.Find(b) }
 // aggregated routers — each sorted ascending, the list sorted by
 // canonical representative (each group's first address).
 func (u *Union) Groups() [][]packet.Addr {
+	return SortGroups(u.UnsortedGroups())
+}
+
+// UnsortedGroups returns the same components as Groups with no ordering
+// guarantee, inside or across groups. It exists for callers that hold a
+// lock around the union: collecting the components is O(n), while the
+// sorting — the expensive part at scale — can then happen outside the
+// critical section via SortGroups.
+func (u *Union) UnsortedGroups() [][]packet.Addr {
 	byRoot := make(map[packet.Addr][]packet.Addr)
 	for a := range u.parent {
 		r := u.Find(a)
@@ -105,14 +114,23 @@ func (u *Union) Groups() [][]packet.Addr {
 	}
 	var out [][]packet.Addr
 	for _, g := range byRoot {
-		if len(g) < 2 {
-			continue
+		if len(g) >= 2 {
+			out = append(out, g)
 		}
-		sort.Slice(g, func(i, j int) bool { return g[i] < g[j] })
-		out = append(out, g)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
 	return out
+}
+
+// SortGroups sorts components into canonical order in place — each
+// group ascending, the list by each group's first (minimum) address —
+// and returns its argument. SortGroups(u.UnsortedGroups()) equals
+// u.Groups().
+func SortGroups(groups [][]packet.Addr) [][]packet.Addr {
+	for _, g := range groups {
+		sort.Slice(g, func(i, j int) bool { return g[i] < g[j] })
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i][0] < groups[j][0] })
+	return groups
 }
 
 // Conflict is a pair with contradictory cross-trace evidence: rejected

@@ -122,3 +122,19 @@ func TestUnionConflictsOrderIndependent(t *testing.T) {
 		t.Fatalf("Conflicts = %v, want one conflict rooted at 50", before)
 	}
 }
+
+// UnsortedGroups + SortGroups is exactly Groups — the split exists so
+// callers can sort outside a lock.
+func TestUnsortedGroupsSortedMatchesGroups(t *testing.T) {
+	u := NewUnion()
+	u.AddSet([]packet.Addr{9, 4, 7})
+	u.AddSet([]packet.Addr{2, 11})
+	u.AddSet([]packet.Addr{4, 2}) // bridges the two components
+	u.AddSet([]packet.Addr{30, 31})
+	u.Add(20, 21)
+	want := u.Groups()
+	got := SortGroups(u.UnsortedGroups())
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("SortGroups(UnsortedGroups()) = %v; Groups() = %v", got, want)
+	}
+}

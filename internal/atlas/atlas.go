@@ -22,6 +22,7 @@ package atlas
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"sync"
 
@@ -47,12 +48,31 @@ type Options struct {
 	// count affects only lock contention, never output: snapshots are
 	// identical for every value.
 	Shards int
+	// MergeWorkers is the worker count for the canonical merge behind
+	// WriteTo, Save and streaming Compact (0 = GOMAXPROCS, 1 = serial).
+	// Like Shards it affects only speed: snapshot bytes are identical
+	// for every value.
+	MergeWorkers int
 }
 
 // Atlas is the sharded cross-trace store. All methods are safe for
 // concurrent use.
+//
+// Locking discipline: every access to a shard's node map takes snapMu
+// read-side plus that shard's mutex — including the lazy provenance
+// sort, which mutates node state on a read path. WriteTo instead takes
+// snapMu write-side for the whole streaming encode: with every writer
+// excluded, its counting pass and its emit pass observe the same state
+// (the byte-determinism contract needs the header totals to match the
+// blocks exactly), and its partition workers can read and lazily sort
+// disjoint nodes with no per-node locking at all.
 type Atlas struct {
-	shards []*shard
+	shards       []*shard
+	mergeWorkers int
+
+	// snapMu is the snapshot gate described above: read-locked by
+	// ingestion and point queries, write-locked by WriteTo.
+	snapMu sync.RWMutex
 
 	mu     sync.Mutex
 	union  *alias.Union
@@ -68,6 +88,10 @@ type shard struct {
 type nodeState struct {
 	seen []Obs
 	succ map[packet.Addr]struct{}
+	// dirty marks seen as unsorted/undeduped since the last canonical
+	// pass; Provenance and the merge sort lazily instead of re-sorting
+	// an already canonical slice on every query.
+	dirty bool
 }
 
 type censusKey struct{ div, conv string }
@@ -88,10 +112,11 @@ func New(opt Options) *Atlas {
 		n = DefaultShards
 	}
 	a := &Atlas{
-		shards: make([]*shard, n),
-		union:  alias.NewUnion(),
-		census: make(map[censusKey]*censusEntry),
-		pairs:  make(map[int]pairInfo),
+		shards:       make([]*shard, n),
+		mergeWorkers: opt.MergeWorkers,
+		union:        alias.NewUnion(),
+		census:       make(map[censusKey]*censusEntry),
+		pairs:        make(map[int]pairInfo),
 	}
 	for i := range a.shards {
 		a.shards[i] = &shard{nodes: make(map[packet.Addr]*nodeState)}
@@ -99,11 +124,15 @@ func New(opt Options) *Atlas {
 	return a
 }
 
-func (a *Atlas) shardOf(addr packet.Addr) *shard {
+func (a *Atlas) shardIndexOf(addr packet.Addr) int {
 	// Addresses are dense allocations; a multiplicative hash spreads
 	// them evenly over any shard count.
 	h := uint32(addr) * 0x9e3779b1
-	return a.shards[h%uint32(len(a.shards))]
+	return int(h % uint32(len(a.shards)))
+}
+
+func (a *Atlas) shardOf(addr packet.Addr) *shard {
+	return a.shards[a.shardIndexOf(addr)]
 }
 
 func (a *Atlas) node(s *shard, addr packet.Addr) *nodeState {
@@ -120,6 +149,8 @@ func (a *Atlas) node(s *shard, addr packet.Addr) *nodeState {
 // responsive vertices a link. Star (non-responsive) vertices have no
 // address and are skipped.
 func (a *Atlas) AddGraph(pair int, g *topo.Graph) {
+	a.snapMu.RLock()
+	defer a.snapMu.RUnlock()
 	for i := range g.Vertices {
 		v := &g.Vertices[i]
 		if v.Addr == topo.StarAddr {
@@ -129,6 +160,7 @@ func (a *Atlas) AddGraph(pair int, g *topo.Graph) {
 		s.mu.Lock()
 		n := a.node(s, v.Addr)
 		n.seen = append(n.seen, Obs{Pair: pair, Hop: v.Hop})
+		n.dirty = true
 		s.mu.Unlock()
 	}
 	for i := range g.Vertices {
@@ -223,9 +255,7 @@ func (a *Atlas) NumPairs() int {
 // RouterSizes returns the sizes of the aggregated routers (alias
 // components with two or more interfaces), in canonical group order.
 func (a *Atlas) RouterSizes() []int {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	groups := a.union.Groups()
+	groups := a.Routers()
 	out := make([]int, len(groups))
 	for i, g := range groups {
 		out[i] = len(g)
@@ -233,65 +263,77 @@ func (a *Atlas) RouterSizes() []int {
 	return out
 }
 
-// Routers returns the aggregated router components themselves.
+// Routers returns the aggregated router components themselves. Only the
+// O(addresses) component collection happens under the atlas lock; the
+// canonical sort runs outside it, so a large-survey Routers call cannot
+// stall concurrent AddRecord ingestion for the sort's duration.
 func (a *Atlas) Routers() [][]packet.Addr {
 	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.union.Groups()
+	groups := a.union.UnsortedGroups()
+	a.mu.Unlock()
+	return alias.SortGroups(groups)
 }
 
 // Census returns the cross-pair diamond census in canonical (div, conv)
-// order.
+// order. Like Routers, the lock covers only the map snapshot; sorting
+// the keys and pair sets happens after ingestion is unblocked.
 func (a *Atlas) Census() []traceio.AtlasDiamond {
 	a.mu.Lock()
-	defer a.mu.Unlock()
-	keys := make([]censusKey, 0, len(a.census))
-	for k := range a.census {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].div != keys[j].div {
-			return keys[i].div < keys[j].div
-		}
-		return keys[i].conv < keys[j].conv
-	})
-	out := make([]traceio.AtlasDiamond, 0, len(keys))
-	for _, k := range keys {
-		e := a.census[k]
+	out := make([]traceio.AtlasDiamond, 0, len(a.census))
+	for k, e := range a.census {
 		ps := make([]int, 0, len(e.pairs))
 		for p := range e.pairs {
 			ps = append(ps, p)
 		}
-		sort.Ints(ps)
 		out = append(out, traceio.AtlasDiamond{
 			Div: k.div, Conv: k.conv, Count: e.count, Pairs: ps,
 			MaxWidth: e.maxWidth, MaxLength: e.maxLength,
 		})
 	}
+	a.mu.Unlock()
+	for _, d := range out {
+		sort.Ints(d.Pairs)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Div != out[j].Div {
+			return out[i].Div < out[j].Div
+		}
+		return out[i].Conv < out[j].Conv
+	})
 	return out
 }
 
 // Provenance returns the (pair, hop) observations of one address,
-// sorted, and whether the address is known at all.
+// sorted, and whether the address is known at all. The node's slice is
+// sorted and deduped in place on first query and only re-canonicalized
+// after new observations arrive (the dirty flag), so repeated queries
+// of a hot address cost one copy, not a sort.
 func (a *Atlas) Provenance(addr packet.Addr) ([]Obs, bool) {
+	a.snapMu.RLock()
+	defer a.snapMu.RUnlock()
 	s := a.shardOf(addr)
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	n, ok := s.nodes[addr]
 	if !ok {
-		s.mu.Unlock()
 		return nil, false
 	}
-	seen := append([]Obs(nil), n.seen...)
-	s.mu.Unlock()
-	return sortedObs(seen), true
+	if n.dirty {
+		n.seen = sortedObs(n.seen)
+		n.dirty = false
+	}
+	return append([]Obs(nil), n.seen...), true
 }
 
 func sortedObs(seen []Obs) []Obs {
-	sort.Slice(seen, func(i, j int) bool {
-		if seen[i].Pair != seen[j].Pair {
-			return seen[i].Pair < seen[j].Pair
+	// slices.SortFunc, not sort.Slice: this runs once per node inside
+	// the merge hot path, and the interface-based sort's closure
+	// allocations add up across a million nodes.
+	slices.SortFunc(seen, func(a, b Obs) int {
+		if a.Pair != b.Pair {
+			return a.Pair - b.Pair
 		}
-		return seen[i].Hop < seen[j].Hop
+		return a.Hop - b.Hop
 	})
 	// Dedup: a replayed record or duplicate AddGraph must not inflate
 	// provenance.

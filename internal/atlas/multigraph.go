@@ -67,6 +67,7 @@ func (a *Atlas) Merged() *MultiGraph {
 		succ []packet.Addr
 	}
 	nodes := make(map[packet.Addr]flat)
+	a.snapMu.RLock()
 	for _, s := range a.shards {
 		s.mu.Lock()
 		for addr, n := range s.nodes {
@@ -74,10 +75,15 @@ func (a *Atlas) Merged() *MultiGraph {
 			for w := range n.succ {
 				succ = append(succ, w)
 			}
+			if n.dirty {
+				n.seen = sortedObs(n.seen)
+				n.dirty = false
+			}
 			nodes[addr] = flat{seen: append([]Obs(nil), n.seen...), succ: succ}
 		}
 		s.mu.Unlock()
 	}
+	a.snapMu.RUnlock()
 	addrs := make([]packet.Addr, 0, len(nodes))
 	for addr := range nodes {
 		addrs = append(addrs, addr)
@@ -92,7 +98,7 @@ func (a *Atlas) Merged() *MultiGraph {
 	for _, addr := range addrs {
 		id := m.dag.AddVertex()
 		m.byAddr[addr] = id
-		m.seen = append(m.seen, sortedObs(nodes[addr].seen))
+		m.seen = append(m.seen, nodes[addr].seen)
 	}
 	for _, addr := range addrs {
 		u := m.byAddr[addr]

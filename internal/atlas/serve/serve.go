@@ -93,6 +93,22 @@ func (s *Service) Swap(path string) error {
 	return nil
 }
 
+// SwapAtlas publishes a live atlas as the new generation: the atlas
+// streams its canonical snapshot to path (Atlas.WriteTo via Save —
+// byte-identical to the materialized encode, bounded memory, and
+// parallel under Options.MergeWorkers), then the service swaps to the
+// file just written. This is the long-running survey's publish step
+// without an intermediate full AtlasSnapshot in memory.
+func (s *Service) SwapAtlas(a *atlas.Atlas, path string) error {
+	if a == nil {
+		return fmt.Errorf("serve: SwapAtlas: nil atlas")
+	}
+	if err := a.Save(path); err != nil {
+		return err
+	}
+	return s.Swap(path)
+}
+
 // Close retires the current generation. Queries after Close return
 // ErrClosed; in-flight queries finish normally.
 func (s *Service) Close() error {

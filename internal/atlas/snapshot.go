@@ -2,6 +2,7 @@ package atlas
 
 import (
 	"fmt"
+	"io"
 	"sort"
 
 	"mmlpt/internal/packet"
@@ -74,6 +75,9 @@ func FromSnapshot(s *traceio.AtlasSnapshot, opt Options) (*Atlas, error) {
 // included, because canonical ordering and provenance dedup happen at
 // snapshot time, not merge time.
 func (a *Atlas) MergeSnapshot(s *traceio.AtlasSnapshot) error {
+	// Parse every address exactly once, before touching any state: a
+	// malformed snapshot is rejected without a partial merge, and the
+	// merge below works on interned packet.Addr values, never strings.
 	addrs := make([]packet.Addr, len(s.Nodes))
 	for i, n := range s.Nodes {
 		addr, err := packet.ParseAddr(n.Addr)
@@ -81,27 +85,53 @@ func (a *Atlas) MergeSnapshot(s *traceio.AtlasSnapshot) error {
 			return fmt.Errorf("atlas: node %d: %w", i, err)
 		}
 		addrs[i] = addr
-		sh := a.shardOf(addr)
-		sh.mu.Lock()
-		st := a.node(sh, addr)
-		for _, o := range n.Seen {
-			st.seen = append(st.seen, Obs{Pair: o[0], Hop: o[1]})
-		}
-		sh.mu.Unlock()
 	}
 	for _, e := range s.Edges {
 		if e[0] < 0 || e[0] >= len(addrs) || e[1] < 0 || e[1] >= len(addrs) {
 			return fmt.Errorf("atlas: edge %v out of range", e)
 		}
-		sh := a.shardOf(addrs[e[0]])
-		sh.mu.Lock()
-		st := a.node(sh, addrs[e[0]])
-		if st.succ == nil {
-			st.succ = make(map[packet.Addr]struct{})
+	}
+	// Group the node and edge work by ingestion shard, so each shard's
+	// lock is taken once per batch instead of once per node and edge —
+	// at snapshot-merge scale the per-node Lock/Unlock pair used to
+	// dominate the merge.
+	nodesByShard := make([][]int, len(a.shards))
+	for i := range s.Nodes {
+		si := a.shardIndexOf(addrs[i])
+		nodesByShard[si] = append(nodesByShard[si], i)
+	}
+	edgesByShard := make([][]int, len(a.shards))
+	for i, e := range s.Edges {
+		si := a.shardIndexOf(addrs[e[0]])
+		edgesByShard[si] = append(edgesByShard[si], i)
+	}
+	a.snapMu.RLock()
+	for si := range a.shards {
+		if len(nodesByShard[si]) == 0 && len(edgesByShard[si]) == 0 {
+			continue
 		}
-		st.succ[addrs[e[1]]] = struct{}{}
+		sh := a.shards[si]
+		sh.mu.Lock()
+		for _, i := range nodesByShard[si] {
+			st := a.node(sh, addrs[i])
+			if len(s.Nodes[i].Seen) > 0 {
+				for _, o := range s.Nodes[i].Seen {
+					st.seen = append(st.seen, Obs{Pair: o[0], Hop: o[1]})
+				}
+				st.dirty = true
+			}
+		}
+		for _, ei := range edgesByShard[si] {
+			e := s.Edges[ei]
+			st := a.node(sh, addrs[e[0]])
+			if st.succ == nil {
+				st.succ = make(map[packet.Addr]struct{})
+			}
+			st.succ[addrs[e[1]]] = struct{}{}
+		}
 		sh.mu.Unlock()
 	}
+	a.snapMu.RUnlock()
 	for i, r := range s.Routers {
 		set := make([]packet.Addr, len(r.Addrs))
 		for j, as := range r.Addrs {
@@ -139,37 +169,15 @@ func (a *Atlas) MergeSnapshot(s *traceio.AtlasSnapshot) error {
 	return nil
 }
 
-// Compact merges a base snapshot (optional: "" starts from empty) and a
-// series of delta snapshots into one full snapshot at outPath, written
-// atomically in the current encoding. This is how a long-running
-// survey's serving view advances: publish cheap deltas, compact them
-// into the base out of band, Swap the service to the compacted file.
-func Compact(outPath, basePath string, deltaPaths []string, opt Options) error {
-	a := New(opt)
-	if basePath != "" {
-		s, err := traceio.ReadAtlasFile(basePath)
-		if err != nil {
-			return fmt.Errorf("compact: base %s: %w", basePath, err)
-		}
-		if err := a.MergeSnapshot(s); err != nil {
-			return fmt.Errorf("compact: base %s: %w", basePath, err)
-		}
-	}
-	for _, p := range deltaPaths {
-		s, err := traceio.ReadAtlasFile(p)
-		if err != nil {
-			return fmt.Errorf("compact: delta %s: %w", p, err)
-		}
-		if err := a.MergeSnapshot(s); err != nil {
-			return fmt.Errorf("compact: delta %s: %w", p, err)
-		}
-	}
-	return a.Save(outPath)
-}
-
-// Save persists the atlas snapshot atomically.
+// Save persists the atlas snapshot atomically. The write streams
+// through Atlas.WriteTo — byte-identical to the materialized
+// traceio.WriteAtlasFile(path, a.Snapshot()) but without ever holding
+// the full snapshot in memory.
 func (a *Atlas) Save(path string) error {
-	return traceio.WriteAtlasFile(path, a.Snapshot())
+	return traceio.WriteFileAtomicStream(path, 0o644, func(w io.Writer) error {
+		_, err := a.WriteTo(w)
+		return err
+	})
 }
 
 // Load reads a snapshot file back into a queryable atlas.

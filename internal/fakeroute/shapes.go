@@ -14,11 +14,12 @@ import (
 // AddrAllocator hands out sequential IPv4 addresses from a base.
 type AddrAllocator struct {
 	next uint32
+	base uint32
 }
 
 // NewAddrAllocator starts allocation at base.
 func NewAddrAllocator(base packet.Addr) *AddrAllocator {
-	return &AddrAllocator{next: uint32(base)}
+	return &AddrAllocator{next: uint32(base), base: uint32(base)}
 }
 
 // Next returns a fresh address.
@@ -29,6 +30,13 @@ func (a *AddrAllocator) Next() packet.Addr {
 		panic("fakeroute: address space exhausted")
 	}
 	return addr
+}
+
+// Allocated reports how many addresses have been handed out — the node
+// population of everything generated from this allocator, which is what
+// scale benchmarks size their builds by.
+func (a *AddrAllocator) Allocated() int {
+	return int(a.next - a.base)
 }
 
 // PathBuilder assembles a hop-aligned path graph.

@@ -69,9 +69,32 @@ func MustParseAddr(s string) Addr {
 	return a
 }
 
+// AppendText appends the dotted-quad form of a to b and returns the
+// extended slice, allocation-free when b has capacity. This is the
+// encode-side counterpart of ParseAddr for hot paths (snapshot
+// encoding renders millions of addresses); String is a convenience
+// wrapper over it.
+func (a Addr) AppendText(b []byte) []byte {
+	for i := 3; i >= 0; i-- {
+		oct := byte(a >> (8 * i))
+		if oct >= 100 {
+			b = append(b, '0'+oct/100)
+		}
+		if oct >= 10 {
+			b = append(b, '0'+(oct/10)%10)
+		}
+		b = append(b, '0'+oct%10)
+		if i > 0 {
+			b = append(b, '.')
+		}
+	}
+	return b
+}
+
 // String renders the address in dotted-quad form.
 func (a Addr) String() string {
-	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+	var buf [15]byte
+	return string(a.AppendText(buf[:0]))
 }
 
 // IsUnspecified reports whether a is 0.0.0.0.

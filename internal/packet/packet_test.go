@@ -1,6 +1,7 @@
 package packet
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 )
@@ -26,6 +27,33 @@ func TestParseAddrRejectsMalformed(t *testing.T) {
 		}
 	}
 }
+
+func TestAddrAppendText(t *testing.T) {
+	f := func(v uint32) bool {
+		a := Addr(v)
+		var buf [15]byte
+		got := a.AppendText(buf[:0])
+		want := fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+		return string(got) == want && a.String() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Appending extends, never clobbers, an existing prefix.
+	b := a1234Prefix()
+	b = Addr(0x01020304).AppendText(b)
+	if string(b) != "x=1.2.3.4" {
+		t.Fatalf("AppendText onto prefix = %q", b)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		var buf [15]byte
+		_ = Addr(0xc0000216).AppendText(buf[:0])
+	}); n != 0 {
+		t.Fatalf("AppendText into sized buffer allocates %v times", n)
+	}
+}
+
+func a1234Prefix() []byte { return append(make([]byte, 0, 32), "x="...) }
 
 func TestParseAddrPropertyRoundTrip(t *testing.T) {
 	f := func(v uint32) bool {

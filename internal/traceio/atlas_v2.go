@@ -1,7 +1,6 @@
 package traceio
 
 import (
-	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -194,75 +193,40 @@ func (c AtlasCodec) EncodeV2(w io.Writer, s *AtlasSnapshot) error {
 		shards[sh].Routers++
 	}
 
-	bw := bufio.NewWriter(w)
-	cw := &countingWriter{w: bw}
-	enc := json.NewEncoder(cw)
-	h := AtlasHeader{
-		Version: AtlasVersion, Kind: atlasKind,
-		Pairs: len(s.Pairs), Nodes: len(s.Nodes), Edges: len(s.Edges),
-		Routers: len(s.Routers), Diamonds: len(s.Diamonds),
-		Shards: len(shards),
+	// The materialized path is a serial block producer over the stream
+	// encoder: slicing the flat snapshot into the layout's blocks and
+	// feeding them in order is, structurally, the same encode the
+	// parallel streaming producers perform — one code path, one byte
+	// contract.
+	spec := AtlasStreamSpec{
+		Pairs: s.Pairs, Nodes: len(s.Nodes), Edges: len(s.Edges),
+		Routers: len(s.Routers), Shards: len(shards), Diamonds: s.Diamonds,
 	}
-	if err := enc.Encode(&h); err != nil {
+	e, err := c.NewAtlasStreamEncoder(w, spec)
+	if err != nil {
 		return err
 	}
-	idx := AtlasIndex{Kind: atlasIndexKind, Shards: make([]AtlasShardInfo, 0, len(shards))}
-	idx.PairsOff = cw.n
-	for i := range s.Pairs {
-		if err := enc.Encode(&s.Pairs[i]); err != nil {
-			return err
-		}
-	}
-	idx.PairsLen = cw.n - idx.PairsOff
-
 	target := shardTarget(c.ShardNodes)
 	for si := range shards {
-		off := cw.n
-		if err := enc.Encode(&shards[si]); err != nil {
-			return err
-		}
+		blk := &AtlasShard{Header: shards[si]}
 		lo := si * target
-		for i := lo; i < lo+shards[si].Nodes; i++ {
-			n := AtlasNodeV2{
-				Addr: s.Nodes[i].Addr, Seen: s.Nodes[i].Seen,
-				Succ: succ[i], Router: routerOf[s.Nodes[i].Addr],
-			}
-			if err := enc.Encode(&n); err != nil {
-				return err
+		if n := shards[si].Nodes; n > 0 {
+			blk.Nodes = make([]AtlasNodeV2, 0, n)
+			for i := lo; i < lo+n; i++ {
+				blk.Nodes = append(blk.Nodes, AtlasNodeV2{
+					Addr: s.Nodes[i].Addr, Seen: s.Nodes[i].Seen,
+					Succ: succ[i], Router: routerOf[s.Nodes[i].Addr],
+				})
 			}
 		}
 		for _, ri := range routersByShard[si] {
-			if err := enc.Encode(&s.Routers[ri]); err != nil {
-				return err
-			}
+			blk.Routers = append(blk.Routers, s.Routers[ri])
 		}
-		idx.Shards = append(idx.Shards, AtlasShardInfo{
-			Off: off, Len: cw.n - off,
-			Nodes: shards[si].Nodes, Routers: shards[si].Routers,
-			Min: shards[si].Min, Max: shards[si].Max,
-		})
-	}
-
-	idx.DiamondsOff = cw.n
-	for i := range s.Diamonds {
-		if err := enc.Encode(&s.Diamonds[i]); err != nil {
+		if err := e.WriteBlock(blk); err != nil {
 			return err
 		}
 	}
-	idx.DiamondsLen = cw.n - idx.DiamondsOff
-
-	indexOff := cw.n
-	if err := enc.Encode(&idx); err != nil {
-		return err
-	}
-	t := atlasTrailer{
-		Kind: atlasTrailerKind, Version: AtlasVersion,
-		IndexOff: indexOff, IndexLen: cw.n - indexOff,
-	}
-	if err := enc.Encode(&t); err != nil {
-		return err
-	}
-	return bw.Flush()
+	return e.Finish()
 }
 
 func shardTarget(n int) int {

@@ -1,6 +1,7 @@
 package traceio
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 )
@@ -10,6 +11,18 @@ import (
 // data is written to a temporary file in the same directory, fsynced,
 // and renamed over path, and the directory entry is fsynced too.
 func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	return WriteFileAtomicStream(path, perm, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+// WriteFileAtomicStream is WriteFileAtomic for streamed content: write
+// renders straight into the temporary file, so the replacement bytes
+// never need to sit in memory — the path a multi-gigabyte snapshot
+// encode takes. The temporary is removed when write or any of the
+// durability steps fail.
+func WriteFileAtomicStream(path string, perm os.FileMode, write func(io.Writer) error) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
@@ -20,7 +33,7 @@ func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
 		tmp.Close()
 		os.Remove(tmpName)
 	}
-	if _, err := tmp.Write(data); err != nil {
+	if err := write(tmp); err != nil {
 		cleanup()
 		return err
 	}
