@@ -28,6 +28,13 @@
 // required), using the batched sendmmsg/recvmmsg wire path:
 //
 //	survey -live-src 192.0.2.10 -live-dests 198.51.100.1,198.51.100.2
+//
+// With -join the process becomes a fleet runner instead: it claims
+// leased work units from a cmd/surveyd coordinator, traces each unit's
+// span of the survey, and ships the records back. The survey plan comes
+// from the coordinator, so only concurrency flags apply locally:
+//
+//	survey -join http://coordinator:8460 -runner-id runner-1
 package main
 
 import (
@@ -40,6 +47,7 @@ import (
 
 	"mmlpt/internal/atlas"
 	"mmlpt/internal/atlas/serve"
+	"mmlpt/internal/dispatch"
 	"mmlpt/internal/experiments"
 	"mmlpt/internal/obs"
 	"mmlpt/internal/prior"
@@ -70,6 +78,10 @@ func main() {
 		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memProfile   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 
+		join     = flag.String("join", "", "coordinator URL: run as a fleet runner, claiming work units from a surveyd instead of running a survey locally")
+		runnerID = flag.String("runner-id", "", "runner name in leases and fleet status (with -join; default host:pid)")
+		maxUnits = flag.Int("max-units", 0, "with -join: exit after shipping this many units (0 = until the survey is done)")
+
 		liveDests   = flag.String("live-dests", "", "comma-separated destination IPs: trace live over raw sockets (Linux, CAP_NET_RAW) instead of the simulator")
 		liveSrc     = flag.String("live-src", "", "source IP stamped into live probes (required with -live-dests)")
 		liveBatch   = flag.Int("live-batch", 64, "live mode: max packets per sendmmsg/recvmmsg call")
@@ -77,6 +89,33 @@ func main() {
 		liveRetries = flag.Int("live-retries", 2, "live mode: re-sends per unanswered probe")
 	)
 	flag.Parse()
+
+	if *join != "" {
+		// Fleet-runner mode: the survey plan (level, pairs, seed, ...)
+		// comes from the coordinator's Spec, not from local flags.
+		id := *runnerID
+		if id == "" {
+			host, _ := os.Hostname()
+			if host == "" {
+				host = "runner"
+			}
+			id = fmt.Sprintf("%s:%d", host, os.Getpid())
+		}
+		err := dispatch.RunRunner(dispatch.RunnerConfig{
+			Coordinator: *join,
+			ID:          id,
+			Workers:     *workers,
+			MaxUnits:    *maxUnits,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *liveDests != "" {
 		if *liveSrc == "" {

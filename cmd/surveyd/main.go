@@ -1,0 +1,147 @@
+// Command surveyd coordinates a distributed survey: it shards the
+// deterministic (src,dst) pair space into leased work units, hands them
+// to runner processes (`survey -join`) over HTTP, checkpoints shipped
+// shards durably, reassigns units whose runners die, meters the fleet's
+// probe rate per destination /24 prefix, and — once every unit has
+// shipped — merges the shards into a record log and atlas snapshot
+// byte-identical to a single-machine `survey` run.
+//
+//	GET  /healthz     service liveness
+//	GET  /v1/status   units, records, leases, per-runner table
+//	POST /v1/claim    lease the next unclaimed work unit
+//	POST /v1/renew    heartbeat a lease
+//	POST /v1/ship     deliver a unit's record log
+//	POST /v1/budget   acquire probe tokens for a destination prefix
+//
+// The work directory holds one shard file per shipped unit plus an
+// atomically-rewritten manifest; restarting surveyd with the same flags
+// and -resume re-traces only units that never durably shipped.
+//
+// Usage:
+//
+//	surveyd -level ip -pairs 5000 -out fleet.jsonl -atlas fleet.atlas -dir work/
+//	survey -join http://coordinator:8460 -runner-id runner-1   (xN machines)
+//
+// surveyd exits 0 once the merge completes; it lingers briefly so
+// runners polling for work hear "done" instead of a connection error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"mmlpt/internal/atlas"
+	"mmlpt/internal/dispatch"
+)
+
+func main() {
+	var (
+		level        = flag.String("level", "ip", "survey level: ip or router")
+		pairs        = flag.Int("pairs", 1000, "number of source-destination pairs")
+		seed         = flag.Uint64("seed", 1, "random seed")
+		phi          = flag.Int("phi", 2, "MDA-Lite meshing budget")
+		rounds       = flag.Int("rounds", 10, "alias rounds (router level)")
+		dir          = flag.String("dir", "", "work directory for shards and the manifest (required)")
+		out          = flag.String("out", "", "write the merged survey record log (JSONL) here")
+		atlasOut     = flag.String("atlas", "", "write the merged atlas snapshot here")
+		atlasShards  = flag.Int("atlas-shards", 0, "atlas ingestion shards (0 = default; snapshot bytes are identical for every value)")
+		atlasWorkers = flag.Int("atlas-workers", 0, "atlas merge workers (0 = GOMAXPROCS; snapshot bytes are identical for every value)")
+		unitSize     = flag.Int("unit-size", dispatch.DefaultUnitSize, "survey pairs per work unit")
+		leaseTTL     = flag.Duration("lease-ttl", dispatch.DefaultLeaseTTL, "lease duration; runners heartbeat at a third of this")
+		budgetRate   = flag.Float64("budget-rate", 0, "fleet-wide probe ceiling per destination /24 prefix, probes/second (0 = unmetered)")
+		budgetBurst  = flag.Float64("budget-burst", 0, "probe budget burst depth (0 = same as -budget-rate)")
+		listen       = flag.String("listen", ":8460", "HTTP listen address")
+		resume       = flag.Bool("resume", false, "restore shipped units from the manifest in -dir")
+		prog         = flag.Bool("progress", false, "report fleet progress to stderr while running")
+		linger       = flag.Duration("linger", 2*time.Second, "serve this long after the merge so polling runners hear done")
+	)
+	flag.Parse()
+
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "usage: surveyd -dir work/ [-level ip] [-pairs N] [-out merged.jsonl] [-atlas merged.atlas] [-listen :8460]")
+		os.Exit(2)
+	}
+	switch *level {
+	case "ip", "router":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown level %q (ip or router)\n", *level)
+		os.Exit(2)
+	}
+	if *out == "" && *atlasOut == "" {
+		fmt.Fprintln(os.Stderr, "surveyd needs at least one of -out or -atlas: a survey with no merged output is wasted probing")
+		os.Exit(2)
+	}
+
+	coord, err := dispatch.NewCoordinator(dispatch.CoordinatorConfig{
+		Spec: dispatch.Spec{
+			Level: *level, Pairs: *pairs, Seed: *seed, Phi: *phi, Rounds: *rounds,
+			BudgetRate: *budgetRate, BudgetBurst: *budgetBurst,
+		},
+		Dir: *dir, OutJSONL: *out, AtlasPath: *atlasOut,
+		AtlasOptions: atlas.Options{Shards: *atlasShards, MergeWorkers: *atlasWorkers},
+		UnitSize:     *unitSize,
+		LeaseTTL:     *leaseTTL,
+		Resume:       *resume,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fleet := coord.Fleet()
+
+	srv := &http.Server{
+		Addr:              *listen,
+		Handler:           coord.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe() }()
+
+	if *prog {
+		go func() {
+			t := time.NewTicker(2 * time.Second)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					fmt.Fprintln(os.Stderr, fleet.Snapshot())
+				case <-coord.Done():
+					return
+				}
+			}
+		}()
+	}
+
+	st := coord.Status()
+	fmt.Fprintf(os.Stderr, "surveyd: coordinating %d units (%d pairs, level %s) on %s\n",
+		st.Units, *pairs, *level, *listen)
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintf(os.Stderr, "surveyd: serve: %v\n", err)
+		os.Exit(1)
+	case <-coord.Done():
+	}
+	if err := coord.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "surveyd: merge: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, fleet.Snapshot())
+	if *out != "" {
+		fmt.Printf("wrote merged record log to %s\n", *out)
+	}
+	if *atlasOut != "" {
+		fmt.Printf("wrote merged atlas snapshot to %s\n", *atlasOut)
+	}
+	fmt.Print(coord.Summary())
+	// Keep answering /v1/claim with "done" briefly so runners exit
+	// cleanly rather than erroring on a vanished coordinator.
+	time.Sleep(*linger)
+	_ = srv.Close()
+}

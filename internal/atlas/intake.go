@@ -1,0 +1,34 @@
+package atlas
+
+import (
+	"fmt"
+	"os"
+
+	"mmlpt/internal/traceio"
+)
+
+// AddRecordLog streams every survey record of a JSONL file into the
+// atlas and returns the record count. This is the shard-intake path of
+// the distributed control plane: the coordinator folds each work unit's
+// shipped record log into one atlas, in unit order, before writing the
+// snapshot through the streaming canonical merge. Because ingestion is
+// canonicalized (sharded by address, merged in ascending address
+// order), the snapshot bytes are independent of which runner produced
+// which shard and of intake order — the fleet's byte-determinism
+// contract reduces to the records themselves being deterministic.
+func (a *Atlas) AddRecordLog(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	n := 0
+	err = traceio.DecodeSurveyRecords(f, func(sr *traceio.SurveyRecord) error {
+		n++
+		return a.AddRecord(sr)
+	})
+	if err != nil {
+		return n, fmt.Errorf("atlas: ingesting %s: %w", path, err)
+	}
+	return n, nil
+}

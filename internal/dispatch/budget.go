@@ -1,0 +1,81 @@
+package dispatch
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"mmlpt/internal/packet"
+)
+
+// Budget is the fleet-wide probe-rate ceiling: one token bucket per
+// destination /24 prefix, refilled at Rate tokens (probes) per second
+// up to Burst deep. The coordinator owns the only instance, and every
+// runner acquires tokens over HTTP before sending, so the aggregate
+// probe rate toward any prefix never exceeds the single-machine cadence
+// no matter how many runners the fleet has — the Sec 2 router-load
+// concern that motivates budgeting a survey fleet at all.
+//
+// Grants are partial: Take hands out what the bucket holds (never more
+// than asked) and otherwise names the wait until at least one token
+// accrues. Budgeting shapes only probe *timing*, never content or
+// order, so it cannot affect the bytes a trace produces.
+type Budget struct {
+	mu      sync.Mutex
+	rate    float64
+	burst   float64
+	now     func() time.Time
+	buckets map[packet.Addr]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewBudget returns a budget granting rate probes/second per prefix
+// with the given burst depth. Burst below 1 is raised to 1 (a bucket
+// that can never hold a whole token would deadlock its prefix).
+func NewBudget(rate, burst float64) *Budget {
+	if burst < 1 {
+		burst = 1
+	}
+	return &Budget{rate: rate, burst: burst, now: time.Now, buckets: make(map[packet.Addr]*bucket)}
+}
+
+// Take requests want tokens for the prefix. It returns how many were
+// granted (possibly zero) and, when short, how long until at least one
+// more token accrues. Take never blocks — pacing is the caller's job —
+// and never grants more than asked.
+func (b *Budget) Take(prefix packet.Addr, want int) (granted int, wait time.Duration) {
+	if want <= 0 {
+		return 0, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	bk := b.buckets[prefix]
+	if bk == nil {
+		bk = &bucket{tokens: b.burst, last: now}
+		b.buckets[prefix] = bk
+	}
+	if dt := now.Sub(bk.last).Seconds(); dt > 0 {
+		bk.tokens = math.Min(b.burst, bk.tokens+dt*b.rate)
+	}
+	bk.last = now
+	granted = int(bk.tokens)
+	if granted > want {
+		granted = want
+	}
+	bk.tokens -= float64(granted)
+	if granted < want && b.rate > 0 {
+		// A short grant leaves a sub-token fraction behind; name the time
+		// until it tops up to one whole token.
+		need := 1 - bk.tokens
+		wait = time.Duration(need / b.rate * float64(time.Second))
+		if wait <= 0 {
+			wait = time.Millisecond
+		}
+	}
+	return granted, wait
+}

@@ -1,0 +1,625 @@
+package dispatch
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
+
+	"mmlpt/internal/atlas"
+	"mmlpt/internal/obs"
+	"mmlpt/internal/packet"
+	"mmlpt/internal/survey"
+	"mmlpt/internal/traceio"
+)
+
+// DefaultUnitSize is the jobs-per-work-unit default: small enough that
+// a runner death wastes little work, large enough that claim/ship HTTP
+// round trips amortize over real tracing.
+const DefaultUnitSize = 64
+
+// DefaultLeaseTTL is the lease duration when CoordinatorConfig.LeaseTTL
+// is zero. Runners heartbeat at a third of the TTL.
+const DefaultLeaseTTL = 30 * time.Second
+
+// manifestName is the manifest file inside the coordinator work dir.
+const manifestName = "manifest.json"
+
+// CoordinatorConfig configures a survey coordinator.
+type CoordinatorConfig struct {
+	// Spec is the survey to run; OptionsHash is filled in by
+	// NewCoordinator from the derived plan.
+	Spec Spec
+	// Dir is the coordinator work directory: per-unit shard files and
+	// the manifest live here. Created if missing.
+	Dir string
+	// OutJSONL, when non-empty, is where the merged record log is
+	// written after every unit ships — byte-identical to the -out file
+	// of a single-machine run.
+	OutJSONL string
+	// AtlasPath, when non-empty, is where the merged atlas snapshot is
+	// written — byte-identical to the -atlas snapshot of a
+	// single-machine run.
+	AtlasPath string
+	// AtlasOptions tunes the atlas (shards, merge workers); output bytes
+	// are identical for every value.
+	AtlasOptions atlas.Options
+	// UnitSize is the number of jobs per work unit (default
+	// DefaultUnitSize).
+	UnitSize int
+	// LeaseTTL is how long a claim lives without renewal (default
+	// DefaultLeaseTTL).
+	LeaseTTL time.Duration
+	// Resume restores shipped units from the manifest in Dir, so a
+	// restarted coordinator re-traces only what never durably shipped.
+	// A missing manifest degrades to a fresh survey.
+	Resume bool
+	// Fleet receives progress counters; one is created if nil.
+	Fleet *obs.Fleet
+	// Logf, when non-nil, receives control-plane events (leases granted,
+	// expiries, ships, merge progress).
+	Logf func(format string, args ...any)
+}
+
+// unit is one work unit moving through the lease state machine.
+type unit struct {
+	id, start, count int
+	state            string
+	runner           string
+	leaseID          uint64
+	expires          time.Time
+	shard            string // file name within cfg.Dir, once shipped
+	records          int
+	attempts         int
+}
+
+// Coordinator shards a survey into work units and serves the fleet
+// protocol over HTTP. Create with NewCoordinator, mount Handler on a
+// server, and wait on Done; Err and Summary report the outcome.
+type Coordinator struct {
+	cfg    CoordinatorConfig
+	spec   Spec
+	ttl    time.Duration
+	budget *Budget
+	fleet  *obs.Fleet
+	logf   func(string, ...any)
+
+	// jobPairs maps job list position to universe pair index, for
+	// validating shipped records against their span.
+	jobPairs []int
+
+	mu        sync.Mutex
+	units     []*unit
+	shipped   int
+	merging   bool
+	mergedAgg *survey.RecordAggregate
+	err       error
+	nextLease uint64
+
+	done chan struct{}
+}
+
+// NewCoordinator derives the survey plan, shards it into units,
+// prepares the work directory (resuming from its manifest when asked),
+// and persists the initial manifest.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if cfg.UnitSize <= 0 {
+		cfg.UnitSize = DefaultUnitSize
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = DefaultLeaseTTL
+	}
+	u, rc, err := cfg.Spec.plan(0)
+	if err != nil {
+		return nil, err
+	}
+	total := survey.JobCount(u, rc)
+	if total == 0 {
+		return nil, fmt.Errorf("dispatch: survey selects no jobs")
+	}
+	spec := cfg.Spec
+	spec.OptionsHash = survey.Fingerprint(u, rc)
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		cfg: cfg, spec: spec, ttl: cfg.LeaseTTL,
+		jobPairs: survey.JobPairs(u, rc),
+		fleet:    cfg.Fleet,
+		logf:     cfg.Logf,
+		done:     make(chan struct{}),
+	}
+	if c.logf == nil {
+		c.logf = func(string, ...any) {}
+	}
+	if spec.BudgetRate > 0 {
+		burst := spec.BudgetBurst
+		if burst == 0 {
+			burst = spec.BudgetRate
+		}
+		c.budget = NewBudget(spec.BudgetRate, burst)
+	}
+	for start := 0; start < total; start += cfg.UnitSize {
+		count := cfg.UnitSize
+		if start+count > total {
+			count = total - start
+		}
+		c.units = append(c.units, &unit{
+			id: len(c.units), start: start, count: count, state: traceio.UnitUnclaimed,
+		})
+	}
+	if cfg.Resume {
+		if err := c.restore(); err != nil {
+			return nil, err
+		}
+	}
+	if c.fleet == nil {
+		c.fleet = obs.NewFleet(len(c.units))
+	}
+	if restored, records := c.restoredCounts(); restored > 0 {
+		c.fleet.Restored(restored, records)
+		c.logf("dispatch: resumed %d shipped units (%d records) from %s", restored, records, filepath.Join(cfg.Dir, manifestName))
+	}
+	if err := c.persistManifest(); err != nil {
+		return nil, err
+	}
+	// A resumed survey may already be fully shipped: merge immediately.
+	if c.shipped == len(c.units) {
+		c.merging = true
+		go c.merge()
+	}
+	return c, nil
+}
+
+// restore loads the manifest and marks units whose shard files are
+// durably on disk as shipped. Leased units demote to unclaimed: their
+// leases died with the previous coordinator process.
+func (c *Coordinator) restore() error {
+	m, err := traceio.ReadFleetManifest(filepath.Join(c.cfg.Dir, manifestName))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if err := m.Matches(c.spec.OptionsHash, len(c.jobPairs), c.cfg.UnitSize); err != nil {
+		return err
+	}
+	if len(m.Units) != len(c.units) {
+		return fmt.Errorf("dispatch: manifest lists %d units, this plan shards into %d", len(m.Units), len(c.units))
+	}
+	for i, mu := range m.Units {
+		u := c.units[i]
+		u.attempts = mu.Attempts
+		if mu.State != traceio.UnitShipped && mu.State != traceio.UnitMerged {
+			continue
+		}
+		path := filepath.Join(c.cfg.Dir, mu.Shard)
+		if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+			c.logf("dispatch: unit %d was shipped but shard %s is gone; re-tracing", i, mu.Shard)
+			continue
+		}
+		// Merged demotes to shipped: the merge re-runs over all shards
+		// and rewrites its outputs atomically, so repeating it is safe
+		// and simpler than proving the previous outputs complete.
+		u.state = traceio.UnitShipped
+		u.runner = mu.Runner
+		u.shard = mu.Shard
+		u.records = mu.Records
+		c.shipped++
+	}
+	return nil
+}
+
+func (c *Coordinator) restoredCounts() (units, records int) {
+	for _, u := range c.units {
+		if u.state == traceio.UnitShipped {
+			units++
+			records += u.records
+		}
+	}
+	return units, records
+}
+
+// persistManifest writes the manifest atomically. Callers must hold no
+// lock or c.mu consistently; it reads unit state, so call it with c.mu
+// held once the coordinator is serving.
+func (c *Coordinator) persistManifest() error {
+	m := &traceio.FleetManifest{
+		OptionsHash: c.spec.OptionsHash, Seed: c.spec.Seed,
+		Total: len(c.jobPairs), UnitSize: c.cfg.UnitSize,
+	}
+	for _, u := range c.units {
+		m.Units = append(m.Units, traceio.FleetUnit{
+			ID: u.id, Start: u.start, Count: u.count, State: u.state,
+			Runner: u.runner, Shard: u.shard, Records: u.records, Attempts: u.attempts,
+		})
+	}
+	return m.WriteAtomic(filepath.Join(c.cfg.Dir, manifestName))
+}
+
+// Done is closed once the final merge has finished (successfully or
+// not); Err then reports the outcome.
+func (c *Coordinator) Done() <-chan struct{} { return c.done }
+
+// Fleet exposes the progress tracker (the configured one, or the one
+// NewCoordinator created).
+func (c *Coordinator) Fleet() *obs.Fleet { return c.fleet }
+
+// Err reports the merge outcome after Done is closed.
+func (c *Coordinator) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// Summary renders the merged record aggregate (available after Done).
+func (c *Coordinator) Summary() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.mergedAgg == nil {
+		return ""
+	}
+	return c.mergedAgg.Summary()
+}
+
+// Status reports unit and runner state for /v1/status and the progress
+// line.
+func (c *Coordinator) Status() Status {
+	c.mu.Lock()
+	var st Status
+	st.Units = len(c.units)
+	for _, u := range c.units {
+		switch u.state {
+		case traceio.UnitUnclaimed:
+			st.Unclaimed++
+		case traceio.UnitLeased:
+			st.Leased++
+		case traceio.UnitShipped:
+			st.Shipped++
+			st.Records += u.records
+		case traceio.UnitMerged:
+			st.Merged++
+			st.Records += u.records
+		}
+	}
+	select {
+	case <-c.done:
+		st.Done = c.err == nil
+	default:
+	}
+	c.mu.Unlock()
+	fs := c.fleet.Snapshot()
+	st.ExpiredLeases = fs.ExpiredLeases
+	for _, r := range fs.Runners {
+		st.Runners = append(st.Runners, StatusRunner{
+			ID: r.ID, Units: r.Units, Records: r.Records,
+			IdleMS:   time.Since(r.LastSeen).Milliseconds(),
+			LastSeen: r.LastSeen.UTC().Format(time.RFC3339),
+		})
+	}
+	return st
+}
+
+// expireLeases returns expired leased units to the unclaimed pool.
+// Callers hold c.mu.
+func (c *Coordinator) expireLeases(now time.Time) {
+	for _, u := range c.units {
+		if u.state == traceio.UnitLeased && now.After(u.expires) {
+			c.logf("dispatch: lease %d on unit %d (runner %s) expired; unit back to unclaimed", u.leaseID, u.id, u.runner)
+			u.state = traceio.UnitUnclaimed
+			u.runner = ""
+			u.leaseID = 0
+			c.fleet.LeaseExpired()
+		}
+	}
+}
+
+// Handler routes the fleet protocol. All state transitions happen in
+// these handlers under one mutex; lease expiry is evaluated lazily at
+// the top of each mutating call, so no background timer is needed.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+
+	method := func(m string, h http.HandlerFunc) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != m {
+				writeErr(w, http.StatusMethodNotAllowed, "method not allowed")
+				return
+			}
+			h(w, r)
+		}
+	}
+
+	mux.HandleFunc("/healthz", method(http.MethodGet, func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	}))
+
+	mux.HandleFunc("/v1/status", method(http.MethodGet, func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, c.Status())
+	}))
+
+	mux.HandleFunc("/v1/claim", method(http.MethodPost, func(w http.ResponseWriter, r *http.Request) {
+		var req claimRequest
+		if err := decodeJSON(r, &req); err != nil || req.Runner == "" {
+			writeErr(w, http.StatusBadRequest, "claim needs a runner id")
+			return
+		}
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		c.expireLeases(time.Now())
+		if c.shipped == len(c.units) {
+			writeJSON(w, http.StatusOK, claimResponse{Status: StatusDone})
+			return
+		}
+		for _, u := range c.units {
+			if u.state != traceio.UnitUnclaimed {
+				continue
+			}
+			c.nextLease++
+			u.state = traceio.UnitLeased
+			u.runner = req.Runner
+			u.leaseID = c.nextLease
+			u.expires = time.Now().Add(c.ttl)
+			u.attempts++
+			c.fleet.Leased(req.Runner)
+			c.logf("dispatch: unit %d [%d,%d) leased to %s (lease %d, attempt %d)",
+				u.id, u.start, u.start+u.count, req.Runner, u.leaseID, u.attempts)
+			spec := c.spec
+			writeJSON(w, http.StatusOK, claimResponse{
+				Status:  StatusUnit,
+				Unit:    &UnitInfo{ID: u.id, Start: u.start, Count: u.count},
+				LeaseID: u.leaseID, TTLMillis: c.ttl.Milliseconds(),
+				Spec: &spec,
+			})
+			return
+		}
+		c.fleet.Seen(req.Runner)
+		writeJSON(w, http.StatusOK, claimResponse{Status: StatusWait})
+	}))
+
+	mux.HandleFunc("/v1/renew", method(http.MethodPost, func(w http.ResponseWriter, r *http.Request) {
+		var req renewRequest
+		if err := decodeJSON(r, &req); err != nil {
+			writeErr(w, http.StatusBadRequest, "malformed renew request")
+			return
+		}
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		c.expireLeases(time.Now())
+		u := c.unitByID(req.Unit)
+		if u == nil || u.state != traceio.UnitLeased || u.leaseID != req.LeaseID || u.runner != req.Runner {
+			writeErr(w, http.StatusGone, "lease %d on unit %d is no longer held", req.LeaseID, req.Unit)
+			return
+		}
+		u.expires = time.Now().Add(c.ttl)
+		c.fleet.Seen(req.Runner)
+		writeJSON(w, http.StatusOK, renewResponse{TTLMillis: c.ttl.Milliseconds()})
+	}))
+
+	mux.HandleFunc("/v1/budget", method(http.MethodPost, func(w http.ResponseWriter, r *http.Request) {
+		var req budgetRequest
+		if err := decodeJSON(r, &req); err != nil || req.Want <= 0 {
+			writeErr(w, http.StatusBadRequest, "malformed budget request")
+			return
+		}
+		if c.budget == nil {
+			writeJSON(w, http.StatusOK, budgetResponse{Granted: req.Want})
+			return
+		}
+		prefix, err := packet.ParseAddr(req.Prefix)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad prefix: %v", err)
+			return
+		}
+		granted, wait := c.budget.Take(Prefix24(prefix), req.Want)
+		c.fleet.Seen(req.Runner)
+		writeJSON(w, http.StatusOK, budgetResponse{Granted: granted, WaitMillis: wait.Milliseconds()})
+	}))
+
+	mux.HandleFunc("/v1/ship", method(http.MethodPost, func(w http.ResponseWriter, r *http.Request) {
+		c.handleShip(w, r)
+	}))
+
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeErr(w, http.StatusNotFound, "no such route")
+	})
+
+	return mux
+}
+
+func (c *Coordinator) unitByID(id int) *unit {
+	if id < 0 || id >= len(c.units) {
+		return nil
+	}
+	return c.units[id]
+}
+
+func (c *Coordinator) handleShip(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	id, err1 := strconv.Atoi(q.Get("unit"))
+	leaseID, err2 := strconv.ParseUint(q.Get("lease"), 10, 64)
+	runner := q.Get("runner")
+	if err1 != nil || err2 != nil || runner == "" {
+		writeErr(w, http.StatusBadRequest, "ship needs unit, lease and runner query parameters")
+		return
+	}
+	// Reject stale leases before touching the body: a late shipment from
+	// a presumed-dead runner gets its 410 without any validation work.
+	c.mu.Lock()
+	c.expireLeases(time.Now())
+	u := c.unitByID(id)
+	if u == nil {
+		c.mu.Unlock()
+		writeErr(w, http.StatusBadRequest, "no unit %d", id)
+		return
+	}
+	if u.state != traceio.UnitLeased || u.leaseID != leaseID || u.runner != runner {
+		c.mu.Unlock()
+		writeErr(w, http.StatusGone, "lease %d on unit %d is no longer held", leaseID, id)
+		return
+	}
+	start, count := u.start, u.count
+	c.mu.Unlock()
+
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "reading shipment: %v", err)
+		return
+	}
+
+	// Validate the shipment against its span outside the lock: exactly
+	// one record per job, in job order, each carrying the pair index the
+	// span's position demands.
+	n := 0
+	verr := traceio.DecodeSurveyRecords(bytes.NewReader(body), func(sr *traceio.SurveyRecord) error {
+		if n >= count {
+			return fmt.Errorf("more than %d records", count)
+		}
+		if want := c.jobPairs[start+n]; sr.PairIndex != want {
+			return fmt.Errorf("record %d is pair %d, span expects pair %d", n, sr.PairIndex, want)
+		}
+		n++
+		return nil
+	})
+	if verr == nil && n != count {
+		verr = fmt.Errorf("%d records, span holds %d jobs", n, count)
+	}
+	if verr != nil {
+		writeErr(w, http.StatusBadRequest, "unit %d shipment invalid: %v", id, verr)
+		return
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLeases(time.Now())
+	if u.state != traceio.UnitLeased || u.leaseID != leaseID || u.runner != runner {
+		// The lease expired (and was possibly reassigned) or the unit
+		// already shipped. Only the current leaseholder's bytes are
+		// accepted — ownership stays unambiguous, and determinism makes
+		// the re-trace produce identical bytes anyway.
+		writeErr(w, http.StatusGone, "lease %d on unit %d is no longer held", leaseID, id)
+		return
+	}
+	shard := fmt.Sprintf("unit-%06d.jsonl", id)
+	if err := traceio.WriteFileAtomic(filepath.Join(c.cfg.Dir, shard), body, 0o644); err != nil {
+		writeErr(w, http.StatusInternalServerError, "persisting shard: %v", err)
+		return
+	}
+	u.state = traceio.UnitShipped
+	u.shard = shard
+	u.records = n
+	u.leaseID = 0
+	c.shipped++
+	c.fleet.Shipped(runner, n)
+	if err := c.persistManifest(); err != nil {
+		// The shard is durable but the manifest is not; fail the ship so
+		// the runner retries (the rewrite is idempotent).
+		u.state = traceio.UnitLeased // undo; lease re-validated on retry
+		u.leaseID = leaseID
+		u.records = 0
+		c.shipped--
+		writeErr(w, http.StatusInternalServerError, "persisting manifest: %v", err)
+		return
+	}
+	c.logf("dispatch: unit %d shipped by %s (%d records); %d/%d units durable",
+		id, runner, n, c.shipped, len(c.units))
+	writeJSON(w, http.StatusOK, shipResponse{Status: "ok", Records: n})
+	if c.shipped == len(c.units) && !c.merging {
+		c.merging = true
+		go c.merge()
+	}
+}
+
+// merge folds every shipped shard, in unit (= span = pair) order, into
+// the final outputs: the concatenated record log (byte-identical to a
+// single-machine -out file) and the atlas snapshot written through the
+// streaming canonical merge (byte-identical to a single-machine -atlas
+// snapshot). It runs once, after the last ship.
+func (c *Coordinator) merge() {
+	err := c.doMerge()
+	c.mu.Lock()
+	c.err = err
+	if err == nil {
+		for _, u := range c.units {
+			u.state = traceio.UnitMerged
+			c.fleet.UnitMerged()
+		}
+		err = c.persistManifest()
+		if c.err == nil {
+			c.err = err
+		}
+	}
+	c.mu.Unlock()
+	close(c.done)
+}
+
+func (c *Coordinator) doMerge() error {
+	agg := survey.NewRecordAggregate()
+	shards := make([]string, len(c.units))
+	c.mu.Lock()
+	for i, u := range c.units {
+		shards[i] = filepath.Join(c.cfg.Dir, u.shard)
+	}
+	c.mu.Unlock()
+
+	// Pass 1: the record log. Shard bytes concatenate in span order;
+	// the tee re-decodes them into the aggregate the summary reports.
+	fold := func(w io.Writer) error {
+		for _, path := range shards {
+			f, err := os.Open(path)
+			if err != nil {
+				return err
+			}
+			var src io.Reader = f
+			if w != nil {
+				src = io.TeeReader(f, w)
+			}
+			err = traceio.DecodeSurveyRecords(src, func(sr *traceio.SurveyRecord) error {
+				agg.Add(sr)
+				return nil
+			})
+			f.Close()
+			if err != nil {
+				return fmt.Errorf("merging %s: %w", path, err)
+			}
+		}
+		return nil
+	}
+	var err error
+	if c.cfg.OutJSONL != "" {
+		err = traceio.WriteFileAtomicStream(c.cfg.OutJSONL, 0o644, func(w io.Writer) error {
+			return fold(w)
+		})
+	} else {
+		err = fold(nil)
+	}
+	if err != nil {
+		return err
+	}
+	c.logf("dispatch: merged %d records into %s", agg.Records, c.cfg.OutJSONL)
+
+	// Pass 2: the atlas, through the shard-intake path and the
+	// streaming canonical snapshot encode.
+	if c.cfg.AtlasPath != "" {
+		a := atlas.New(c.cfg.AtlasOptions)
+		for _, path := range shards {
+			if _, err := a.AddRecordLog(path); err != nil {
+				return err
+			}
+		}
+		if err := a.Save(c.cfg.AtlasPath); err != nil {
+			return err
+		}
+		c.logf("dispatch: atlas snapshot written to %s", c.cfg.AtlasPath)
+	}
+	c.mu.Lock()
+	c.mergedAgg = agg
+	c.mu.Unlock()
+	return nil
+}

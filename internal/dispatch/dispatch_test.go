@@ -1,0 +1,360 @@
+package dispatch
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"mmlpt/internal/atlas"
+	"mmlpt/internal/survey"
+)
+
+// testSpec is a survey small enough to fleet-trace in test time but
+// large enough to cut into several work units.
+func testSpec() Spec {
+	return Spec{Level: "ip", Pairs: 24, Seed: 7, Phi: 2}
+}
+
+// singleMachine runs the spec's survey in-process the way cmd/survey
+// would, returning the record-log bytes and (when atlasPath is
+// non-empty) writing the atlas snapshot.
+func singleMachine(t *testing.T, spec Spec, atlasPath string) []byte {
+	t.Helper()
+	u, rc, err := spec.plan(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	rc.Sinks = []survey.Sink{bufSink{&buf}}
+	var asink *survey.AtlasSink
+	if atlasPath != "" {
+		asink = survey.NewAtlasSink(atlas.Options{})
+		rc.Sinks = append(rc.Sinks, asink)
+	}
+	if _, err := survey.Run(u, rc); err != nil {
+		t.Fatal(err)
+	}
+	if asink != nil {
+		if err := asink.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := asink.Atlas.Save(atlasPath); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func readFile(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func newTestCoordinator(t *testing.T, dir string, spec Spec, mod func(*CoordinatorConfig)) (*Coordinator, *httptest.Server) {
+	t.Helper()
+	cfg := CoordinatorConfig{
+		Spec:      spec,
+		Dir:       dir,
+		OutJSONL:  filepath.Join(dir, "merged.jsonl"),
+		AtlasPath: filepath.Join(dir, "merged.atlas"),
+		UnitSize:  5,
+		LeaseTTL:  2 * time.Second,
+		Logf:      t.Logf,
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	coord, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	t.Cleanup(srv.Close)
+	return coord, srv
+}
+
+// runRunners starts n runners against the coordinator and waits for all
+// of them to exit cleanly.
+func runRunners(t *testing.T, url string, n int) {
+	t.Helper()
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = RunRunner(RunnerConfig{
+				Coordinator: url,
+				ID:          fmt.Sprintf("runner-%d", i),
+				Workers:     2,
+				Poll:        10 * time.Millisecond,
+				Logf:        t.Logf,
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("runner %d: %v", i, err)
+		}
+	}
+}
+
+func waitDone(t *testing.T, coord *Coordinator) {
+	t.Helper()
+	select {
+	case <-coord.Done():
+	case <-time.After(60 * time.Second):
+		t.Fatal("coordinator never finished merging")
+	}
+	if err := coord.Err(); err != nil {
+		t.Fatalf("merge failed: %v", err)
+	}
+}
+
+// TestFleetByteIdentical: a fleet of N runners must produce a merged
+// record log and atlas snapshot byte-identical to a single-machine run,
+// for N = 1 and N = 3 — the determinism pin the whole control plane
+// hangs on.
+func TestFleetByteIdentical(t *testing.T) {
+	t.Parallel()
+	spec := testSpec()
+	golden := t.TempDir()
+	wantJSONL := singleMachine(t, spec, filepath.Join(golden, "golden.atlas"))
+	wantAtlas := readFile(t, filepath.Join(golden, "golden.atlas"))
+
+	for _, runners := range []int{1, 3} {
+		runners := runners
+		t.Run(fmt.Sprintf("runners=%d", runners), func(t *testing.T) {
+			t.Parallel()
+			dir := t.TempDir()
+			coord, srv := newTestCoordinator(t, dir, spec, nil)
+			runRunners(t, srv.URL, runners)
+			waitDone(t, coord)
+
+			if got := readFile(t, filepath.Join(dir, "merged.jsonl")); !bytes.Equal(got, wantJSONL) {
+				t.Fatalf("merged record log differs from single-machine run (%d vs %d bytes)", len(got), len(wantJSONL))
+			}
+			if got := readFile(t, filepath.Join(dir, "merged.atlas")); !bytes.Equal(got, wantAtlas) {
+				t.Fatalf("merged atlas differs from single-machine run (%d vs %d bytes)", len(got), len(wantAtlas))
+			}
+			st := coord.Status()
+			if !st.Done || st.Merged != st.Units {
+				t.Fatalf("status after done: %+v", st)
+			}
+		})
+	}
+}
+
+// claimAs issues one raw claim, returning the leased unit. Used to
+// impersonate a runner that dies immediately after claiming.
+func claimAs(t *testing.T, url, runner string) claimResponse {
+	t.Helper()
+	body, _ := json.Marshal(claimRequest{Runner: runner})
+	resp, err := http.Post(url+"/v1/claim", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("claim returned %d", resp.StatusCode)
+	}
+	var cr claimResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		t.Fatal(err)
+	}
+	return cr
+}
+
+// TestDeadRunnerReassignment: a runner that claims a unit and dies
+// without renewing loses the lease at TTL expiry; the unit is
+// reassigned and the final outputs are still byte-identical to an
+// uninterrupted single-machine run. The claim-then-silence here is
+// observationally identical, from the coordinator's side, to kill -9:
+// the socket just goes quiet. (The CI fleet-smoke job kills a real
+// runner process for the full-stack version.)
+func TestDeadRunnerReassignment(t *testing.T) {
+	t.Parallel()
+	spec := testSpec()
+	golden := t.TempDir()
+	wantJSONL := singleMachine(t, spec, filepath.Join(golden, "golden.atlas"))
+	wantAtlas := readFile(t, filepath.Join(golden, "golden.atlas"))
+
+	dir := t.TempDir()
+	coord, srv := newTestCoordinator(t, dir, spec, func(cfg *CoordinatorConfig) {
+		cfg.LeaseTTL = 150 * time.Millisecond
+	})
+
+	// The ghost claims the first unit and is never heard from again.
+	ghost := claimAs(t, srv.URL, "ghost")
+	if ghost.Status != StatusUnit || ghost.Unit == nil {
+		t.Fatalf("ghost claim: %+v", ghost)
+	}
+
+	runRunners(t, srv.URL, 1)
+	waitDone(t, coord)
+
+	if got := readFile(t, filepath.Join(dir, "merged.jsonl")); !bytes.Equal(got, wantJSONL) {
+		t.Fatalf("merged record log differs after reassignment (%d vs %d bytes)", len(got), len(wantJSONL))
+	}
+	if got := readFile(t, filepath.Join(dir, "merged.atlas")); !bytes.Equal(got, wantAtlas) {
+		t.Fatalf("merged atlas differs after reassignment (%d vs %d bytes)", len(got), len(wantAtlas))
+	}
+
+	st := coord.Status()
+	if st.ExpiredLeases < 1 {
+		t.Fatalf("expected at least one expired lease, status %+v", st)
+	}
+	coord.mu.Lock()
+	attempts := coord.units[ghost.Unit.ID].attempts
+	coord.mu.Unlock()
+	if attempts < 2 {
+		t.Fatalf("abandoned unit %d has %d lease attempts, want >= 2", ghost.Unit.ID, attempts)
+	}
+}
+
+// TestStaleShipRejected: a shipment under an expired (reassigned) lease
+// must be refused with 410 Gone, keeping unit ownership unambiguous.
+func TestStaleShipRejected(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	_, srv := newTestCoordinator(t, dir, testSpec(), func(cfg *CoordinatorConfig) {
+		cfg.LeaseTTL = 50 * time.Millisecond
+	})
+
+	ghost := claimAs(t, srv.URL, "ghost")
+	if ghost.Status != StatusUnit {
+		t.Fatalf("ghost claim: %+v", ghost)
+	}
+	time.Sleep(150 * time.Millisecond) // let the lease expire
+
+	// The same unit goes to another runner, which proves expiry happened.
+	other := claimAs(t, srv.URL, "other")
+	if other.Status != StatusUnit || other.Unit.ID != ghost.Unit.ID {
+		t.Fatalf("expected reassignment of unit %d, got %+v", ghost.Unit.ID, other)
+	}
+
+	target := fmt.Sprintf("%s/v1/ship?unit=%d&lease=%d&runner=ghost", srv.URL, ghost.Unit.ID, ghost.LeaseID)
+	resp, err := http.Post(target, "application/x-ndjson", bytes.NewReader(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("stale ship returned %d, want %d", resp.StatusCode, http.StatusGone)
+	}
+}
+
+// TestCoordinatorResume: a coordinator killed mid-survey restarts with
+// -resume, restores the durably shipped units from the manifest, and
+// the fleet finishes the remainder — outputs byte-identical to an
+// uninterrupted run.
+func TestCoordinatorResume(t *testing.T) {
+	t.Parallel()
+	spec := testSpec()
+	golden := t.TempDir()
+	wantJSONL := singleMachine(t, spec, filepath.Join(golden, "golden.atlas"))
+	wantAtlas := readFile(t, filepath.Join(golden, "golden.atlas"))
+
+	dir := t.TempDir()
+
+	// Phase 1: ship two units, then the coordinator "dies" (server
+	// closes; the in-memory lease table is lost, the manifest is not).
+	coordA, srvA := newTestCoordinator(t, dir, spec, nil)
+	err := RunRunner(RunnerConfig{
+		Coordinator: srvA.URL, ID: "runner-a", Workers: 2,
+		Poll: 10 * time.Millisecond, MaxUnits: 2, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := coordA.Status(); st.Shipped != 2 {
+		t.Fatalf("phase 1 shipped %d units, want 2", st.Shipped)
+	}
+	srvA.Close()
+
+	// Phase 2: a fresh coordinator resumes from the manifest.
+	coordB, srvB := newTestCoordinator(t, dir, spec, func(cfg *CoordinatorConfig) {
+		cfg.Resume = true
+	})
+	if st := coordB.Status(); st.Shipped != 2 {
+		t.Fatalf("resume restored %d shipped units, want 2 (status %+v)", st.Shipped, st)
+	}
+	runRunners(t, srvB.URL, 2)
+	waitDone(t, coordB)
+
+	if got := readFile(t, filepath.Join(dir, "merged.jsonl")); !bytes.Equal(got, wantJSONL) {
+		t.Fatalf("merged record log differs after coordinator resume (%d vs %d bytes)", len(got), len(wantJSONL))
+	}
+	if got := readFile(t, filepath.Join(dir, "merged.atlas")); !bytes.Equal(got, wantAtlas) {
+		t.Fatalf("merged atlas differs after coordinator resume (%d vs %d bytes)", len(got), len(wantAtlas))
+	}
+}
+
+// TestFleetWithBudgetByteIdentical: probe budgeting shapes timing only
+// — a metered fleet's outputs stay byte-identical to an unmetered
+// single-machine run.
+func TestFleetWithBudgetByteIdentical(t *testing.T) {
+	t.Parallel()
+	spec := testSpec()
+	spec.Pairs = 8
+	golden := t.TempDir()
+	wantJSONL := singleMachine(t, spec, filepath.Join(golden, "golden.atlas"))
+
+	fleetSpec := spec
+	fleetSpec.BudgetRate = 500 // tight enough to exercise waits, loose enough for test time
+	fleetSpec.BudgetBurst = 50
+	dir := t.TempDir()
+	coord, srv := newTestCoordinator(t, dir, fleetSpec, func(cfg *CoordinatorConfig) {
+		cfg.UnitSize = 3
+		cfg.AtlasPath = ""
+	})
+	runRunners(t, srv.URL, 2)
+	waitDone(t, coord)
+
+	if got := readFile(t, filepath.Join(dir, "merged.jsonl")); !bytes.Equal(got, wantJSONL) {
+		t.Fatalf("metered fleet record log differs from unmetered single-machine run (%d vs %d bytes)", len(got), len(wantJSONL))
+	}
+}
+
+// TestRunnerRejectsForeignSpec: a runner whose binary derives a
+// different plan fingerprint must refuse to trace rather than splice
+// mismatched records into the survey.
+func TestRunnerRejectsForeignSpec(t *testing.T) {
+	t.Parallel()
+	spec := testSpec()
+	u, rc, err := spec.plan(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/claim" {
+			writeErr(w, http.StatusNotFound, "no")
+			return
+		}
+		bad := spec
+		bad.OptionsHash = survey.Fingerprint(u, rc) + 1 // corrupted/diverged coordinator
+		writeJSON(w, http.StatusOK, claimResponse{
+			Status:  StatusUnit,
+			Unit:    &UnitInfo{ID: 0, Start: 0, Count: 5},
+			LeaseID: 1, TTLMillis: 60000, Spec: &bad,
+		})
+	}))
+	defer srv.Close()
+
+	err = RunRunner(RunnerConfig{Coordinator: srv.URL, ID: "r", Poll: time.Millisecond})
+	if err == nil {
+		t.Fatal("runner accepted a spec whose fingerprint does not match its own plan")
+	}
+}

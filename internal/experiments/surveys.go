@@ -44,36 +44,62 @@ func (cfg SurveyConfig) runConfig(algo survey.Algo) survey.RunConfig {
 	}
 }
 
+// PlanSurvey derives the universe and run configuration the named
+// survey level ("ip" or "router") traces under cfg. It is the single
+// source of truth shared by the single-machine entry points (IPSurvey,
+// RouterSurvey) and the distributed control plane (internal/dispatch):
+// a fleet coordinator and its runners both call it with the same spec,
+// so every machine derives exactly the jobs — and emits exactly the
+// record bytes — a single-machine run would.
+func PlanSurvey(level string, cfg SurveyConfig) (*survey.Universe, survey.RunConfig, error) {
+	switch level {
+	case "ip":
+		if cfg.Pairs == 0 {
+			cfg.Pairs = 400
+		}
+		algo := survey.AlgoMDA
+		if cfg.Prior != nil {
+			algo = survey.AlgoMDALite
+		}
+		u := survey.Generate(survey.GenConfig{Seed: cfg.Seed ^ 0x1b5e7, Pairs: cfg.Pairs})
+		return u, cfg.runConfig(algo), nil
+	case "router":
+		if cfg.Pairs == 0 {
+			cfg.Pairs = 200
+		}
+		if cfg.Rounds == 0 {
+			cfg.Rounds = 10
+		}
+		u := survey.Generate(survey.GenConfig{Seed: cfg.Seed ^ 0x1b5e8, Pairs: cfg.Pairs})
+		rc := cfg.runConfig(survey.AlgoMultilevel)
+		rc.OnlyLB = true
+		rc.Rounds = cfg.Rounds
+		return u, rc, nil
+	default:
+		return nil, survey.RunConfig{}, fmt.Errorf("experiments: unknown survey level %q (ip or router)", level)
+	}
+}
+
 // IPSurvey runs the Sec 5.1 IP-level survey with the MDA (as the paper
 // did) and returns the result for figure extraction. With a prior index
 // it runs the MDA-Lite instead — the tracer that consumes priors — so a
 // re-survey seeded from an earlier atlas spends its confirmation budget
 // rather than the full stopping-rule cost.
 func IPSurvey(cfg SurveyConfig) (*survey.Result, error) {
-	if cfg.Pairs == 0 {
-		cfg.Pairs = 400
+	u, rc, err := PlanSurvey("ip", cfg)
+	if err != nil {
+		return nil, err
 	}
-	algo := survey.AlgoMDA
-	if cfg.Prior != nil {
-		algo = survey.AlgoMDALite
-	}
-	u := survey.Generate(survey.GenConfig{Seed: cfg.Seed ^ 0x1b5e7, Pairs: cfg.Pairs})
-	return survey.Run(u, cfg.runConfig(algo))
+	return survey.Run(u, rc)
 }
 
 // RouterSurvey runs the Sec 5.2 router-level survey with the multilevel
 // tracer over the load-balanced pairs.
 func RouterSurvey(cfg SurveyConfig) (*survey.Result, []survey.RouterRecord, error) {
-	if cfg.Pairs == 0 {
-		cfg.Pairs = 200
+	u, rc, err := PlanSurvey("router", cfg)
+	if err != nil {
+		return nil, nil, err
 	}
-	if cfg.Rounds == 0 {
-		cfg.Rounds = 10
-	}
-	u := survey.Generate(survey.GenConfig{Seed: cfg.Seed ^ 0x1b5e8, Pairs: cfg.Pairs})
-	rc := cfg.runConfig(survey.AlgoMultilevel)
-	rc.OnlyLB = true
-	rc.Rounds = cfg.Rounds
 	res, err := survey.Run(u, rc)
 	if err != nil {
 		return res, nil, err

@@ -16,6 +16,10 @@
 //     its successor interfaces. The same flow must always take the same
 //     branch (assumption (2) of Veitch et al.), while distinct flows must
 //     spread uniformly (assumption (3)).
+//
+// In the layering, nprand is a thin leaf utility: it depends on nothing
+// in this module and everything stochastic — fakeroute, the probing
+// algorithms, workload generation — depends on it.
 package nprand
 
 // splitmix64 advances the seed and returns the next value of the splitmix64

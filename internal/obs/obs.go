@@ -5,6 +5,12 @@
 // The multilevel tracer's "free" Round 0 alias resolution (Sec 4.1) is
 // built entirely from these observations; later rounds use the recorded
 // flow table to aim additional indirect probes at specific addresses.
+//
+// In the layering, obs is a thin recording layer between the probing
+// engine and the alias resolver: it stores what probes revealed and
+// never decides what to probe. The progress and fleet trackers here are
+// equally passive — counters the survey and dispatch layers update for
+// reporting, never for scheduling.
 package obs
 
 import (

@@ -4,6 +4,10 @@
 // order the moment its prefix is complete. Callers partition work by
 // index (one trace per pair, one result slot per prober), so the output
 // of a parallel run is identical to a serial walk by construction.
+//
+// In the layering, par is a thin leaf utility with no dependencies
+// inside the module; the survey engine and the atlas merge build their
+// parallelism on it rather than hand-rolling goroutine pools.
 package par
 
 import (

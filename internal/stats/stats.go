@@ -1,6 +1,10 @@
 // Package stats provides the small statistical toolkit the experiments
 // use: empirical CDFs, sample means with normal-approximation confidence
 // intervals, histograms, and ratio aggregation.
+//
+// In the layering, stats is a thin leaf utility: pure functions over
+// float slices, no dependencies inside the module, consumed by
+// internal/experiments and the figure formatters.
 package stats
 
 import (

@@ -117,6 +117,24 @@ type RunConfig struct {
 	// result is identical for every worker count.
 	Workers int
 
+	// SpanStart/SpanCount restrict the run to the contiguous slice
+	// [SpanStart, SpanStart+SpanCount) of the deterministic selected-job
+	// list — the same list a checkpoint's Done count indexes. SpanCount
+	// zero with SpanStart zero traces everything. The distributed control
+	// plane (internal/dispatch) traces one such span per work-unit claim;
+	// records keep their global pair indices and derived seeds, so unit
+	// outputs concatenated in span order are byte-identical to the record
+	// stream of a whole-survey run. A span cannot be combined with
+	// Checkpoint or Resume: work units are retried whole, not resumed.
+	SpanStart, SpanCount int
+
+	// WrapProber, when non-nil, wraps each pair's prober before tracing.
+	// The fleet runner uses it to meter probes against the coordinator's
+	// per-destination-prefix budget. A wrapper must preserve probe
+	// semantics — it may delay probes, never reorder, drop or alter them
+	// — so tracing stays deterministic under metering.
+	WrapProber func(pair Pair, p probe.Prober) probe.Prober
+
 	// Sinks receive each pair's record, in pair order, the moment its
 	// contiguous prefix of traces has completed. Nil keeps the survey a
 	// pure in-memory aggregation.
@@ -167,9 +185,41 @@ func selectJobs(u *Universe, cfg RunConfig) []job {
 	return jobs
 }
 
+// JobCount reports how many pairs Run would trace under cfg before any
+// span restriction: the total the distributed coordinator shards into
+// work units, and the Total a checkpoint validates against.
+func JobCount(u *Universe, cfg RunConfig) int {
+	return len(selectJobs(u, cfg))
+}
+
+// JobPairs returns the universe pair index of every job Run would trace
+// (before any span restriction), in emission order. The coordinator uses
+// it to validate that a shipped work unit holds exactly the records its
+// span should produce.
+func JobPairs(u *Universe, cfg RunConfig) []int {
+	jobs := selectJobs(u, cfg)
+	out := make([]int, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.idx
+	}
+	return out
+}
+
+// Fingerprint exposes the options hash: the fingerprint of every input
+// that determines which pairs a run traces and what their records
+// contain. Checkpoints embed it to refuse resuming a different
+// experiment; the distributed control plane embeds it in work-unit
+// claims so a runner refuses a coordinator whose survey plan differs
+// from what the runner's own binary derives (version skew).
+func Fingerprint(u *Universe, cfg RunConfig) uint64 {
+	return optionsHash(u, cfg)
+}
+
 // optionsHash fingerprints every input that determines which pairs are
 // traced and what their records contain. Worker count is deliberately
-// excluded: results are identical for every worker count.
+// excluded: results are identical for every worker count. Span bounds
+// are excluded too: a span traces a slice of the same experiment, and
+// the checkpoint machinery (the hash's consumer) refuses spans anyway.
 func optionsHash(u *Universe, cfg RunConfig) uint64 {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "gen=%+v|algo=%d|seed=%d|maxttl=%d|stars=%d|stop=%v|reuse=%t|phi=%d|maxpairs=%d|onlylb=%t|rounds=%d|ppr=%d|retries=%d",
@@ -196,6 +246,19 @@ func Run(u *Universe, cfg RunConfig) (*Result, error) {
 		cfg.Phi = mdalite.DefaultPhi
 	}
 	jobs := selectJobs(u, cfg)
+	if cfg.SpanStart != 0 || cfg.SpanCount != 0 {
+		if cfg.Checkpoint != "" || cfg.Resume {
+			return nil, fmt.Errorf("survey: a span cannot be checkpointed or resumed; work units are retried whole")
+		}
+		end := cfg.SpanStart + cfg.SpanCount
+		if cfg.SpanCount == 0 {
+			end = len(jobs)
+		}
+		if cfg.SpanStart < 0 || cfg.SpanCount < 0 || end > len(jobs) {
+			return nil, fmt.Errorf("survey: span [%d,%d) out of range (0..%d jobs)", cfg.SpanStart, end, len(jobs))
+		}
+		jobs = jobs[cfg.SpanStart:end]
+	}
 	total := len(jobs)
 	hash := optionsHash(u, cfg)
 
@@ -351,9 +414,13 @@ func writeCheckpoint(cfg RunConfig, hash uint64, total, done int, log *JSONLSink
 }
 
 func traceOne(u *Universe, idx int, pair Pair, cfg RunConfig) TraceOutcome {
-	p := probe.NewSimProber(u.Net, pair.Src, pair.Dst)
+	sim := probe.NewSimProber(u.Net, pair.Src, pair.Dst)
 	if cfg.Retries > 0 {
-		p.Retries = cfg.Retries
+		sim.Retries = cfg.Retries
+	}
+	var p probe.Prober = sim
+	if cfg.WrapProber != nil {
+		p = cfg.WrapProber(pair, p)
 	}
 	tc := cfg.Trace
 	tc.Seed = nprand.IndexedSeed(cfg.Trace.Seed, idx)

@@ -1,0 +1,79 @@
+// Package-doc lint: every package under internal/ (and cmd/) must carry
+// a substantive package-level doc comment, because the layering of this
+// codebase is documented in godoc, not in a separate architecture file
+// that would drift. Run via `go test .` — CI's lint job includes it.
+package mmlpt
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// minDocLen is the floor for a package comment: long enough that "does
+// stuff" cannot pass, short enough not to demand an essay of genuinely
+// small packages.
+const minDocLen = 120
+
+func TestEveryInternalPackageHasDoc(t *testing.T) {
+	t.Parallel()
+	checkTree(t, "internal")
+	checkTree(t, "cmd")
+}
+
+func checkTree(t *testing.T, root string) {
+	t.Helper()
+	err := filepath.WalkDir(root, func(dir string, d fs.DirEntry, err error) error {
+		if err != nil || !d.IsDir() {
+			return err
+		}
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.PackageClauseOnly|parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		for name, pkg := range pkgs {
+			var doc string
+			var files []string
+			for path, f := range pkg.Files {
+				files = append(files, path)
+				if f.Doc != nil && len(f.Doc.Text()) > len(doc) {
+					doc = f.Doc.Text()
+				}
+			}
+			if len(files) == 0 {
+				continue
+			}
+			if doc == "" {
+				t.Errorf("package %s (%s) has no package-level doc comment; state what it does and where it sits in the layering", name, dir)
+				continue
+			}
+			wantPrefix := "Package " + name + " "
+			if name == "main" {
+				wantPrefix = "Command "
+			}
+			if !strings.HasPrefix(doc, wantPrefix) {
+				t.Errorf("package %s (%s): doc comment must start with %q, got %q", name, dir, wantPrefix, firstLine(doc))
+			}
+			if len(doc) < minDocLen {
+				t.Errorf("package %s (%s): doc comment is %d chars, want at least %d — say what the package does AND its layering role", name, dir, len(doc), minDocLen)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
